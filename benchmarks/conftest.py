@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one figure or claim of the paper
+(see DESIGN.md's per-experiment index). The paper has no quantitative
+tables, so each benchmark prints the table the paper *would* have shown
+and asserts the qualitative shape of the result (who wins, by roughly what
+factor, where crossovers fall). Wall-clock timing of the scenario itself
+is captured through pytest-benchmark for regression tracking.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import pytest
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a paper-style results table."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join("-" * w for w in widths)
+    print("\n%s" % title)
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print(line)
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavyweight scenario exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def table():
+    return print_table

@@ -1,0 +1,138 @@
+"""FIG4 — pulling shared bundles down into the host (Figure 4).
+
+"It becomes possible to have only one instance of 'Bundle II' whose
+services will be used by all the required bundles … and therefore leverage
+the management effort and optimize the resource usage of the platform."
+
+We build both layouts for real — K instances each duplicating the base
+bundles, vs base bundles installed once on the host and exported — and
+compare total bundle count, memory footprint and service registrations.
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.osgi.definition import BundleActivator, simple_bundle
+from repro.osgi.framework import Framework
+from repro.vosgi.delegation import ExportPolicy
+from repro.vosgi.manager import InstanceManager
+
+INSTANCE_COUNTS = [2, 4, 8, 16]
+BASE_BUNDLE_BYTES = 512 * 1024  # a meaty base service (log + http + jmx)
+BASE_BUNDLES = 3
+
+
+class BaseServiceActivator(BundleActivator):
+    def start(self, context):
+        context.register_service(
+            "base.Service", {"provider": context.bundle.symbolic_name}
+        )
+
+
+def base_bundle(i):
+    return simple_bundle(
+        "base-%d" % i,
+        exports=('base%d;version="1.0.0"' % i,),
+        packages={"base%d" % i: {"Api": object()}},
+        activator_factory=BaseServiceActivator,
+        size_bytes=BASE_BUNDLE_BYTES,
+    )
+
+
+def app_bundle():
+    return simple_bundle("app", size_bytes=32 * 1024)
+
+
+def build_duplicated(count):
+    """Every instance carries its own copy of the base bundles."""
+    host = Framework("dup-host")
+    host.start()
+    manager = InstanceManager(host)
+    for i in range(count):
+        instance = manager.create_instance("c%02d" % i)
+        for b in range(BASE_BUNDLES):
+            instance.install(base_bundle(b)).start()
+        instance.install(app_bundle()).start()
+    return host, manager
+
+
+def build_shared(count):
+    """Base bundles once on the host, exported to every instance."""
+    host = Framework("shared-host")
+    host.start()
+    for b in range(BASE_BUNDLES):
+        host.install(base_bundle(b)).start()
+    manager = InstanceManager(host)
+    policy = ExportPolicy(
+        packages={"base%d" % b for b in range(BASE_BUNDLES)},
+        service_classes={"base.Service"},
+    )
+    for i in range(count):
+        instance = manager.create_instance("c%02d" % i, policy=policy)
+        instance.install(app_bundle()).start()
+    return host, manager
+
+
+def footprint(host, manager):
+    return host.memory_footprint() + sum(
+        i.memory_footprint() for i in manager.instances()
+    )
+
+
+def total_bundles(host, manager):
+    return len(host.bundles()) + sum(
+        len(i.bundles()) for i in manager.instances()
+    )
+
+
+def test_fig4_shared_vs_duplicated(benchmark):
+    def scenario():
+        results = {}
+        for count in INSTANCE_COUNTS:
+            dup_host, dup_manager = build_duplicated(count)
+            shared_host, shared_manager = build_shared(count)
+            results[count] = {
+                "dup_bundles": total_bundles(dup_host, dup_manager),
+                "shared_bundles": total_bundles(shared_host, shared_manager),
+                "dup_bytes": footprint(dup_host, dup_manager),
+                "shared_bytes": footprint(shared_host, shared_manager),
+                "mirrored": shared_manager.instances()[0]
+                .framework.registry.get_reference("base.Service")
+                is not None,
+            }
+            dup_host.stop()
+            shared_host.stop()
+        return results
+
+    results = run_once(benchmark, scenario)
+
+    rows = []
+    for count in INSTANCE_COUNTS:
+        r = results[count]
+        rows.append(
+            (
+                count,
+                r["dup_bundles"],
+                r["shared_bundles"],
+                "%.1f" % (r["dup_bytes"] / 2**20),
+                "%.1f" % (r["shared_bytes"] / 2**20),
+                "%.2fx" % (r["dup_bytes"] / r["shared_bytes"]),
+            )
+        )
+    print_table(
+        "FIG4: duplicated base bundles vs one shared copy on the host",
+        ["instances", "dup bundles", "shared bundles", "dup MiB", "shared MiB", "saving"],
+        rows,
+    )
+
+    for count in INSTANCE_COUNTS:
+        r = results[count]
+        # Shape: sharing removes (count-1)*BASE_BUNDLES bundle copies...
+        assert r["dup_bundles"] - r["shared_bundles"] == (count - 1) * BASE_BUNDLES
+        # ...saves memory accordingly...
+        assert r["shared_bytes"] < r["dup_bytes"]
+        # ...and the shared service is still visible inside every instance.
+        assert r["mirrored"]
+    # The saving factor grows with instance count.
+    savings = [
+        results[c]["dup_bytes"] / results[c]["shared_bytes"] for c in INSTANCE_COUNTS
+    ]
+    assert savings == sorted(savings)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Service localization and scale-out — §3.2 issue 4, Figures 5 & 6.
+
+Part 1 (Figure 5): one service, one dedicated IP. Migration = release the
+IP on the source node, bind it on the target; requests in the takeover
+window are lost.
+
+Part 2 (Figure 6): services share an IP behind a replicated ipvs director.
+Migration re-points the director (no IP move), replicas scale throughput
+"beyond the performance of a single node", and killing the primary
+director exercises its own failover.
+
+Run with::
+
+    python examples/ipvs_scaleout.py
+"""
+
+from repro.cluster import Cluster
+from repro.ipvs import AddressRegistry, DirectorCluster, IpEndpoint
+
+
+def part_one_unique_ip():
+    print("=== Figure 5: unique IP per service ===")
+    cluster = Cluster.build(2, seed=5)
+    registry = AddressRegistry(cluster.loop, takeover_seconds=0.5)
+    registry.bind("203.0.113.10", "n1")
+
+    lost, served = 0, 0
+    ping_until = cluster.loop.clock.now + 4.0
+
+    # A client pinging the service IP every 50 ms while it migrates.
+    def ping():
+        nonlocal lost, served
+        if registry.owner("203.0.113.10") is None:
+            lost += 1
+        else:
+            served += 1
+        if cluster.loop.clock.now < ping_until:
+            cluster.loop.call_after(0.05, ping)
+
+    cluster.loop.call_after(0.05, ping)
+    cluster.run_for(2.0)
+    print("migrating the service IP n1 -> n2 ...")
+    move = registry.move("203.0.113.10", "n1", "n2")
+    cluster.run_for(2.0)
+    print(
+        "owner now: %s; pings served=%d lost-in-window=%d"
+        % (registry.owner("203.0.113.10"), served, lost)
+    )
+
+
+def part_two_shared_ip_behind_ipvs():
+    print("\n=== Figure 6: shared IP behind a replicated ipvs ===")
+    cluster = Cluster.build(4, seed=6)
+    directors = DirectorCluster(cluster.loop, replicas=2, failover_seconds=0.5)
+    vip = IpEndpoint("203.0.113.20", 80)
+    directors.add_service(vip)
+
+    # Start with one replica; each replica serves ~100 req/s.
+    directors.add_real_server(vip, "n1", service_time=0.01, queue_limit=16)
+
+    def offered_load(duration, rate_hz):
+        """Submit requests at rate_hz for duration seconds."""
+        interval = 1.0 / rate_hz
+        end = cluster.loop.clock.now + duration
+
+        def submit():
+            if cluster.loop.clock.now >= end:
+                return
+            directors.submit(vip)
+            cluster.loop.call_after(interval, submit)
+
+        cluster.loop.call_after(interval, submit)
+        cluster.run_for(duration + 1.0)
+
+    print("offering 250 req/s to ONE replica (capacity ~100/s):")
+    offered_load(4.0, 250)
+    stats = directors.stats()
+    print(
+        "  completed=%d dropped=%d mean-latency=%.1fms"
+        % (stats["completed"], stats["dropped"], stats["mean_latency"] * 1e3)
+    )
+
+    print("scaling out to 3 replicas behind the same VIP:")
+    directors.add_real_server(vip, "n2", service_time=0.01, queue_limit=16)
+    directors.add_real_server(vip, "n3", service_time=0.01, queue_limit=16)
+    before = directors.stats()
+    offered_load(4.0, 250)
+    after = directors.stats()
+    print(
+        "  completed=%d dropped=%d; per-node: %s"
+        % (
+            after["completed"] - before["completed"],
+            after["dropped"] - before["dropped"],
+            directors.per_node_served(),
+        )
+    )
+
+    print("killing the primary director (ipvs1):")
+    directors.fail_primary()
+    before = directors.stats()
+    offered_load(2.0, 100)
+    after = directors.stats()
+    print(
+        "  during+after failover: completed=%d dropped=%d (standby took over)"
+        % (
+            after["completed"] - before["completed"],
+            after["dropped"] - before["dropped"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    part_one_unique_ip()
+    part_two_shared_ip_behind_ipvs()

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""A multi-tenant service gateway — the paper's motivating scenario.
+
+One provider box hosts several customers. The host OSGi environment runs
+the base services once (log, HTTP, metrics); each customer gets a virtual
+instance that may only touch what its contract exports. A misbehaving
+customer is caught by the SecurityManager, and the Monitoring Module
+meters everyone individually.
+
+Run with::
+
+    python examples/multi_tenant_gateway.py
+"""
+
+from repro.isolation import (
+    FilePermission,
+    SecurityManager,
+    SecurityPolicy,
+    SecurityViolation,
+    ServicePermission,
+)
+from repro.isolation.quotas import ResourceQuota
+from repro.monitoring import MonitoringModule
+from repro.osgi import Framework
+from repro.osgi.definition import BundleActivator, simple_bundle
+from repro.sim import EventLoop
+from repro.vosgi import ExportPolicy, InstanceManager
+
+
+# ----------------------------------------------------------------------
+# Base services, deployed once on the host (Figure 4's "Bundle II").
+# ----------------------------------------------------------------------
+class HttpServiceActivator(BundleActivator):
+    """A registry of (path -> handler), standing in for the OSGi
+    HttpService the paper's prototype exported to its instances."""
+
+    def start(self, context):
+        self.routes = {}
+        context.register_service("http.HttpService", self)
+
+    def register_servlet(self, path, handler):
+        self.routes[path] = handler
+
+    def dispatch(self, path, request):
+        handler = self.routes.get(path)
+        if handler is None:
+            return 404, "not found"
+        return 200, handler(request)
+
+
+class LogServiceActivator(BundleActivator):
+    def start(self, context):
+        self.lines = []
+        context.register_service("log.LogService", self)
+
+    def log(self, who, message):
+        self.lines.append("[%s] %s" % (who, message))
+
+
+# ----------------------------------------------------------------------
+# Customer application bundles.
+# ----------------------------------------------------------------------
+def make_webshop_activator(customer):
+    class WebshopActivator(BundleActivator):
+        def start(self, context):
+            self.context = context
+            http = context.get_service(
+                context.get_service_reference("http.HttpService")
+            )
+            log = context.get_service(
+                context.get_service_reference("log.LogService")
+            )
+            http.register_servlet(
+                "/%s/buy" % customer,
+                lambda request: self._buy(log, request),
+            )
+            log.log(customer, "webshop deployed")
+
+        def _buy(self, log, request):
+            # Account the work so the Monitoring Module sees it.
+            self.context.account(cpu=0.002, memory_delta=256)
+            log.log(customer, "sold one %s" % request)
+            return "ok: %s" % request
+
+    return WebshopActivator
+
+
+def main():
+    loop = EventLoop()
+    host = Framework("gateway")
+    host.start()
+    host.install(
+        simple_bundle("http-service", activator_factory=HttpServiceActivator)
+    ).start()
+    host.install(
+        simple_bundle("log-service", activator_factory=LogServiceActivator)
+    ).start()
+
+    # Administrator policy: customers may use HTTP and log, nothing else,
+    # and may write only under their own data directory.
+    security_policy = SecurityPolicy()
+    for customer in ("acme", "globex"):
+        security_policy.grant(
+            customer,
+            ServicePermission("http.HttpService", "get"),
+            ServicePermission("log.LogService", "get"),
+            FilePermission("/data/%s/-" % customer, "read,write"),
+        )
+    security = SecurityManager(security_policy)
+
+    manager = InstanceManager(host, security=security)
+    exports = ExportPolicy(
+        service_classes={"http.HttpService", "log.LogService"}
+    )
+    monitoring = MonitoringModule(loop, manager, interval=1.0)
+    monitoring.start()
+
+    print("=== admitting customers ===")
+    for customer, cpu_share in (("acme", 0.5), ("globex", 0.3)):
+        instance = manager.create_instance(
+            customer,
+            policy=exports,
+            quota=ResourceQuota(cpu_share=cpu_share, memory_bytes=64 * 1024),
+        )
+        instance.install(
+            simple_bundle(
+                "%s-webshop" % customer,
+                activator_factory=make_webshop_activator(customer),
+            )
+        ).start()
+        print("  %s admitted (cpu<=%.0f%%)" % (customer, cpu_share * 100))
+
+    # Traffic arrives at the shared HTTP service.
+    http = host.system_context.get_service(
+        host.system_context.get_service_reference("http.HttpService")
+    )
+    print("\n=== serving requests through the SHARED HttpService ===")
+    for path, item in (
+        ("/acme/buy", "anvil"),
+        ("/globex/buy", "widget"),
+        ("/acme/buy", "rocket-skates"),
+    ):
+        status, body = http.dispatch(path, item)
+        print("  %s %s -> %d %s" % (path, item, status, body))
+
+    log = host.system_context.get_service(
+        host.system_context.get_service_reference("log.LogService")
+    )
+    print("\nshared log (one service instance for everyone):")
+    for line in log.lines:
+        print(" ", line)
+
+    # Per-customer metering.
+    loop.run_for(1.0)
+    print("\n=== per-customer usage (Monitoring Module) ===")
+    for customer in manager.names():
+        report = monitoring.latest(customer)
+        print(
+            "  %-7s cpu=%.1f%% of node, mem=%dB (quota %.0f%%/%dB)"
+            % (
+                customer,
+                report.cpu_share * 100,
+                report.memory_bytes,
+                report.quota_cpu_share * 100,
+                report.quota_memory_bytes,
+            )
+        )
+
+    # Security: acme tries to escape its sandbox.
+    print("\n=== isolation checks (SecurityManager) ===")
+    for principal, permission in (
+        ("acme", FilePermission("/data/acme/orders.db", "write")),
+        ("acme", FilePermission("/data/globex/orders.db", "read")),
+        ("globex", ServicePermission("admin.Console", "get")),
+    ):
+        try:
+            security.check(principal, permission)
+            verdict = "ALLOWED"
+        except SecurityViolation:
+            verdict = "DENIED"
+        print("  %-7s %-45r %s" % (principal, permission, verdict))
+
+    host.stop()
+
+
+if __name__ == "__main__":
+    main()

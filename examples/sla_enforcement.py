@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""SLA enforcement by business policy — §3.3 in action.
+
+Two customers share a node. One starts burning far more CPU than its SLA
+allows. The Monitoring Module reports it, the Autonomic Module's
+SLA-enforcement policy (after a grace period) migrates the offender to a
+node with headroom, and the well-behaved neighbour never moves. A second
+scenario shows the harsher "stop the bad customer" policy.
+
+Run with::
+
+    python examples/sla_enforcement.py
+"""
+
+from repro.core import DependableEnvironment
+from repro.osgi.definition import BundleActivator, simple_bundle
+from repro.sla import ServiceLevelAgreement
+
+
+class BurnerActivator(BundleActivator):
+    """Customer workload whose CPU appetite we control from outside."""
+
+    def __init__(self):
+        self.context = None
+
+    def start(self, context):
+        self.context = context
+
+    def stop(self, context):
+        self.context = None
+
+
+def drive_load(env, activator, cpu_per_second):
+    """Make the bundle consume cpu_per_second every virtual second."""
+
+    def burn():
+        if activator.context is not None:
+            try:
+                activator.context.account(cpu=cpu_per_second)
+            except Exception:
+                return
+            env.loop.call_after(1.0, burn)
+
+    env.loop.call_after(1.0, burn)
+
+
+def admit_with_burner(env, name, cpu_share, node_id):
+    activator = BurnerActivator()
+    completion = env.admit_customer(
+        ServiceLevelAgreement(name, cpu_share=cpu_share),
+        bundles=[simple_bundle("burner", activator_factory=lambda: activator)],
+        node_id=node_id,
+    )
+    env.cluster.run_until_settled([completion])
+    env.run_for(1.0)
+    return activator
+
+
+def report_actions(env):
+    for node in env.cluster.alive_nodes():
+        autonomic = node.modules["autonomic"]
+        for action in autonomic.actions_log:
+            print(
+                "  [%s] %s %s (%s)"
+                % (node.node_id, action.kind, action.target, action.params.get("reason"))
+            )
+
+
+def scenario_migrate():
+    print("=== policy: migrate the SLA violator to a suitable node ===")
+    env = DependableEnvironment.build(node_count=2, seed=4, sla_action="migrate")
+    hog = admit_with_burner(env, "hog", cpu_share=0.20, node_id="n1")
+    quiet = admit_with_burner(env, "quiet", cpu_share=0.20, node_id="n1")
+    drive_load(env, hog, cpu_per_second=0.65)   # 3x its contract
+    drive_load(env, quiet, cpu_per_second=0.10)  # well within contract
+    print("before:", {c: env.locate(c) for c in env.customer_names()})
+    env.run_for(15.0)
+    print("after: ", {c: env.locate(c) for c in env.customer_names()})
+    report_actions(env)
+    hog_reports = env.sla_tracker.violations("hog")
+    print("hog violations observed: %d, quiet: %d" % (
+        len(hog_reports), len(env.sla_tracker.violations("quiet"))))
+
+
+def scenario_stop():
+    print("\n=== policy: stop the bad-behaved customer ===")
+    env = DependableEnvironment.build(node_count=2, seed=4, sla_action="stop-instance")
+    hog = admit_with_burner(env, "hog", cpu_share=0.20, node_id="n1")
+    drive_load(env, hog, cpu_per_second=0.8)
+    env.run_for(15.0)
+    print("hog still running anywhere?", env.locate("hog"))
+    print("hog SAN state retained for later reinstatement:",
+          env.cluster.store.has_state("vosgi:hog"))
+    report_actions(env)
+
+
+def scenario_scripted():
+    """§3.3's scripting path: the administrator writes the policy as text."""
+    from repro.autonomic import load_policies
+
+    print("\n=== policy: authored as a script (JSR-223 analogue) ===")
+    policy_file = """
+# Shed any customer above 50% of a node's CPU, regardless of its SLA.
+policy: shed-heavy priority=20
+when: event.type == 'usage-report' and event.data['report'].cpu_share > 0.5
+then: actions.append(Action('migrate', event.data['report'].instance, {'reason': 'scripted'}))
+"""
+    env = DependableEnvironment.build(
+        node_count=2, seed=4, enable_rebalance=False
+    )
+    hog = admit_with_burner(env, "hog", cpu_share=0.9, node_id="n1")
+    drive_load(env, hog, cpu_per_second=0.65)  # legal per SLA, but scripted out
+    for policy in load_policies(policy_file):
+        env.autonomic["n1"].add_node_policy(policy)
+    env.run_for(15.0)
+    print("hog (within its generous SLA!) moved by the script to:",
+          env.locate("hog"))
+    report_actions(env)
+
+
+if __name__ == "__main__":
+    scenario_migrate()
+    scenario_stop()
+    scenario_scripted()

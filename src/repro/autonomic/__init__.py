@@ -1,0 +1,48 @@
+"""Autonomic Module — §3.3, built on a Serpentine-style policy engine.
+
+"The Autonomic Module shall enforce the business policies defined by the
+administrator": stopping a misbehaving instance, lowering its priority,
+migrating it to a suitable node, redeploying after failures, consolidating
+idle customers and hibernating empty nodes.
+
+Serpentine's three properties the paper uses are reproduced:
+
+* **stateless** — the :class:`~repro.autonomic.serpentine.PolicyEngine`
+  keeps no state between events; anything a policy needs to remember lives
+  in the shared :class:`~repro.autonomic.serpentine.AutonomicContext`;
+* **programmatic policies** — policies are plain Python callables
+  (condition + action), the analogue of JSR-223 scripting;
+* **hierarchization** — engines cascade: events a child engine leaves
+  unhandled escalate to its parent, supporting per-node engines under a
+  cluster-level engine.
+"""
+
+from repro.autonomic.module import AutonomicModule
+from repro.autonomic.policies import (
+    consolidation_policy,
+    rebalance_policy,
+    sla_enforcement_policy,
+)
+from repro.autonomic.scripting import ScriptError, load_policies, scripted_policy
+from repro.autonomic.serpentine import (
+    Action,
+    AutonomicContext,
+    Event,
+    Policy,
+    PolicyEngine,
+)
+
+__all__ = [
+    "Action",
+    "AutonomicContext",
+    "AutonomicModule",
+    "Event",
+    "Policy",
+    "PolicyEngine",
+    "ScriptError",
+    "consolidation_policy",
+    "load_policies",
+    "rebalance_policy",
+    "scripted_policy",
+    "sla_enforcement_policy",
+]

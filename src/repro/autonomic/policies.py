@@ -1,0 +1,281 @@
+"""Built-in business policies.
+
+Each factory returns a :class:`~repro.autonomic.serpentine.Policy` over the
+event vocabulary emitted by :class:`~repro.autonomic.module.AutonomicModule`:
+
+* ``"usage-report"`` — one per instance per monitoring tick, with the
+  :class:`~repro.monitoring.monitor.UsageReport` under ``data["report"]``;
+* ``"node-state"`` — a node changed state;
+* ``"cluster-tick"`` — periodic cluster-level evaluation (coordinator only).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.autonomic.serpentine import Action, AutonomicContext, Event, Policy
+
+
+def sla_enforcement_policy(
+    grace_violations: int = 3,
+    action_kind: str = "migrate",
+    priority: int = 10,
+) -> Policy:
+    """Act on an instance that keeps exceeding its SLA.
+
+    After ``grace_violations`` consecutive violating usage reports the
+    policy emits one action: ``"migrate"`` (move the instance to a node
+    with headroom — "swap it, if possible, to a suitable node"),
+    ``"stop-instance"`` ("stopping a bad behaved customer") or
+    ``"throttle"`` ("giving it lower priority").
+    """
+    if action_kind not in ("migrate", "stop-instance", "throttle"):
+        raise ValueError("unsupported SLA action: %r" % action_kind)
+
+    def condition(event: Event, context: AutonomicContext) -> bool:
+        if event.type != "usage-report":
+            return False
+        report = event.data["report"]
+        key = "sla-violations/%s" % report.instance
+        if not report.any_violation:
+            context.reset_counter(key)
+            return False
+        count = context.counter(key, +1)
+        if count < grace_violations:
+            return False
+        cooldown_key = "sla-acted/%s" % report.instance
+        if context.state.get(cooldown_key, -1e9) > event.at - 5.0:
+            return False  # acted recently; give the action time to land
+        context.state[cooldown_key] = event.at
+        context.reset_counter(key)
+        return True
+
+    def act(event: Event, context: AutonomicContext) -> List[Action]:
+        report = event.data["report"]
+        return [
+            Action(
+                kind=action_kind,
+                target=report.instance,
+                params={"reason": "sla", "cpu_share": report.cpu_share},
+                policy="sla-enforcement",
+            )
+        ]
+
+    return Policy("sla-enforcement", condition, act, priority=priority)
+
+
+def rebalance_policy(
+    node_cpu_threshold: float = 0.85,
+    priority: int = 5,
+    cooldown: float = 5.0,
+) -> Policy:
+    """Relieve an overloaded node by migrating its heaviest instance.
+
+    "We are able to better respond to resource shortage on a given node by
+    migrating the customer to a suitable node."
+    """
+
+    def condition(event: Event, context: AutonomicContext) -> bool:
+        if event.type != "usage-report":
+            return False
+        monitoring = context.facility("monitoring")
+        summary = monitoring.node_summary()
+        if summary["cpu_used_share"] < node_cpu_threshold:
+            return False
+        if context.state.get("rebalance-at", -1e9) > event.at - cooldown:
+            return False
+        migration = context.facility("migration")
+        inventory = migration.inventory
+        others = [
+            n
+            for n in inventory.node_ids()
+            if n != migration.node.node_id
+        ]
+        for other in others:
+            node_inventory = inventory.get(other)
+            if node_inventory is None:
+                continue
+            resources = node_inventory.resources
+            measured = float(resources.get("cpu_available_share", 0.0))
+            # Also require unreserved quota headroom: a node whose CPU is
+            # fully promised to its own customers is not "suitable".
+            unreserved = float(resources.get("cpu_unreserved_share", measured))
+            if min(measured, unreserved) > 0.3:
+                context.state["rebalance-target"] = other
+                context.state["rebalance-at"] = event.at
+                return True
+        return False
+
+    def act(event: Event, context: AutonomicContext) -> List[Action]:
+        monitoring = context.facility("monitoring")
+        heaviest = None
+        heaviest_share = -1.0
+        for instance in monitoring.manager.instances():
+            report = monitoring.latest(instance.name)
+            if report is not None and report.cpu_share > heaviest_share:
+                heaviest = instance.name
+                heaviest_share = report.cpu_share
+        if heaviest is None:
+            return []
+        return [
+            Action(
+                kind="migrate",
+                target=heaviest,
+                params={
+                    "reason": "rebalance",
+                    "to_node": context.state.get("rebalance-target"),
+                },
+                policy="rebalance",
+            )
+        ]
+
+    return Policy("rebalance", condition, act, priority=priority)
+
+
+def expansion_policy(
+    cluster_cpu_threshold: float = 0.7,
+    priority: int = 2,
+    cooldown: float = 10.0,
+) -> Policy:
+    """Wake hibernated capacity when the remaining nodes run hot.
+
+    The other half of §4's elasticity story: consolidation parks idle
+    capacity, and "relocating them in another node when they need more
+    performance" requires bringing that capacity back. Fires on
+    ``cluster-tick`` (coordinator only); the action is executed through
+    the environment's wake agent (the wake-on-LAN analogue), since a
+    hibernated node cannot be reached through the GCS.
+    """
+
+    def condition(event: Event, context: AutonomicContext) -> bool:
+        if event.type != "cluster-tick":
+            return False
+        if context.state.get("expand-at", -1e9) > event.at - cooldown:
+            return False
+        if "hibernated_nodes" not in context.facilities:
+            return False
+        if not context.facility("hibernated_nodes")():
+            return False
+        migration = context.facility("migration")
+        inventory = migration.inventory
+        used = 0.0
+        capacity = 0.0
+        for node_id in inventory.node_ids():
+            node_inventory = inventory.get(node_id)
+            if node_inventory is None:
+                continue
+            used += float(node_inventory.resources.get("cpu_used_share", 0.0))
+            capacity += float(node_inventory.resources.get("cpu_capacity", 1.0))
+        if capacity == 0 or used / capacity < cluster_cpu_threshold:
+            return False
+        context.state["expand-at"] = event.at
+        return True
+
+    def act(event: Event, context: AutonomicContext) -> List[Action]:
+        sleeping = context.facility("hibernated_nodes")()
+        if not sleeping:
+            return []
+        return [
+            Action(
+                kind="wake-node",
+                target=sorted(sleeping)[0],
+                params={"reason": "expansion"},
+                policy="expansion",
+            )
+        ]
+
+    return Policy("expansion", condition, act, priority=priority)
+
+
+def consolidation_policy(
+    cluster_cpu_threshold: float = 0.25,
+    min_nodes: int = 1,
+    priority: int = 1,
+    cooldown: float = 10.0,
+) -> Policy:
+    """Pack idle customers onto few nodes and hibernate the empty ones.
+
+    §4: "concentrate in a single node several customers when they are idle
+    … reduce power usage by shutting down or hibernating nodes when they
+    are not needed." Fires on ``cluster-tick`` events, which the module
+    only emits on the GCS coordinator — one decision-maker per view.
+    """
+
+    def condition(event: Event, context: AutonomicContext) -> bool:
+        if event.type != "cluster-tick":
+            return False
+        if context.state.get("consolidate-at", -1e9) > event.at - cooldown:
+            return False
+        migration = context.facility("migration")
+        inventory = migration.inventory
+        node_ids = inventory.node_ids()
+        if len(node_ids) <= min_nodes:
+            return False
+        used = 0.0
+        capacity = 0.0
+        for node_id in node_ids:
+            node_inventory = inventory.get(node_id)
+            if node_inventory is None:
+                continue
+            used += float(node_inventory.resources.get("cpu_used_share", 0.0))
+            capacity += float(node_inventory.resources.get("cpu_capacity", 1.0))
+        if capacity == 0 or used / capacity > cluster_cpu_threshold:
+            return False
+        if inventory.total_instances() == 0:
+            return False  # nothing to consolidate; empty clusters stay up
+        # Only worthwhile when some occupied node could be emptied.
+        occupied = [n for n in node_ids if inventory.instances_on(n)]
+        return len(occupied) > min_nodes or len(occupied) < len(node_ids)
+
+    def act(event: Event, context: AutonomicContext) -> List[Action]:
+        from repro.migration.placement import PackingPlacement
+
+        migration = context.facility("migration")
+        inventory = migration.inventory
+        node_ids = inventory.node_ids()
+        descriptors = []
+        current: dict = {}
+        for node_id in node_ids:
+            for name in inventory.instances_on(node_id):
+                descriptor = migration.customers.get(name)
+                if descriptor is None:
+                    continue
+                descriptors.append(descriptor)
+                current[name] = node_id
+        if not descriptors:
+            return []
+        keep = sorted(node_ids)[: max(min_nodes, 1)]
+        packing = PackingPlacement().assign(descriptors, keep, inventory)
+        actions: List[Action] = []
+        for name, target in sorted(packing.items()):
+            if current.get(name) != target:
+                actions.append(
+                    Action(
+                        kind="migrate",
+                        target=name,
+                        params={
+                            "reason": "consolidation",
+                            "to_node": target,
+                            "from_node": current.get(name),
+                        },
+                        policy="consolidation",
+                    )
+                )
+        packed_nodes = set(packing.values()) | set(keep)
+        for node_id in node_ids:
+            if node_id not in packed_nodes and not (
+                set(inventory.instances_on(node_id)) - set(packing)
+            ):
+                actions.append(
+                    Action(
+                        kind="hibernate-node",
+                        target=node_id,
+                        params={"reason": "consolidation"},
+                        policy="consolidation",
+                    )
+                )
+        if actions:
+            context.state["consolidate-at"] = event.at
+        return actions
+
+    return Policy("consolidation", condition, act, priority=priority)

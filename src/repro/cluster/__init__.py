@@ -1,0 +1,25 @@
+"""Cluster substrate: nodes, capacities, power states, virtual-time costs.
+
+A :class:`~repro.cluster.node.Node` is one physical machine: it mounts the
+SAN, boots a host OSGi framework with the Instance Manager and Monitoring
+Module, and exposes fail/shutdown/hibernate transitions for the
+dependability experiments. :class:`~repro.cluster.cluster.Cluster` wires
+nodes to one simulated network, shared store, group directory and event
+loop. All lifecycle operations take *virtual time* per the
+:class:`~repro.cluster.spec.CostModel`, so downtime and migration latency
+are measurable quantities.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.future import Completion
+from repro.cluster.node import Node, NodeState
+from repro.cluster.spec import CostModel, NodeSpec
+
+__all__ = [
+    "Cluster",
+    "Completion",
+    "CostModel",
+    "Node",
+    "NodeSpec",
+    "NodeState",
+]

@@ -1,0 +1,13 @@
+"""The integrated platform — the paper's system, assembled.
+
+:class:`~repro.core.environment.DependableEnvironment` builds a cluster in
+which every node runs a host OSGi framework with the Instance Manager,
+Monitoring Module, Migration Module and Autonomic Module, all sharing one
+SAN, GCS and (optionally) an ipvs director pair. Customers are admitted
+with SLAs, placed, monitored, migrated on failures or SLA pressure, and
+their compliance is tracked end to end.
+"""
+
+from repro.core.environment import Customer, DependableEnvironment
+
+__all__ = ["Customer", "DependableEnvironment"]

@@ -1,0 +1,42 @@
+"""Group discovery directory.
+
+On a real LAN, jGCS implementations discover peers with IP multicast or a
+static configuration file. In the simulation, :class:`GroupDirectory`
+plays that role: members register their endpoint when joining a group and
+deregister on leave. It is *only* a discovery hint — membership truth lives
+in installed views, and a stale directory entry is harmless (messages to a
+dead endpoint are dropped by the network).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+class GroupDirectory:
+    """Maps group name to the endpoints that announced themselves."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Set[str]] = {}
+
+    def register(self, group: str, member_id: str) -> None:
+        self._groups.setdefault(group, set()).add(member_id)
+
+    def deregister(self, group: str, member_id: str) -> None:
+        members = self._groups.get(group)
+        if members is not None:
+            members.discard(member_id)
+            if not members:
+                del self._groups[group]
+
+    def lookup(self, group: str) -> List[str]:
+        """Known announcers for ``group``, sorted for determinism."""
+        return sorted(self._groups.get(group, ()))
+
+    def groups(self) -> List[str]:
+        return sorted(self._groups)
+
+    def __repr__(self) -> str:
+        return "GroupDirectory(%s)" % {
+            g: sorted(m) for g, m in sorted(self._groups.items())
+        }

@@ -1,0 +1,81 @@
+"""Membership views.
+
+A view is an agreed, numbered snapshot of the group's membership. The
+coordinator (used as the total-order sequencer and the view installer) is
+deterministically the lexicographically smallest member id, so every member
+derives it locally with no extra protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class View:
+    """An installed membership view."""
+
+    view_id: int
+    members: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(sorted(self.members)))
+
+    @property
+    def coordinator(self) -> str:
+        if not self.members:
+            raise ValueError("empty view has no coordinator")
+        return self.members[0]
+
+    def contains(self, member: str) -> bool:
+        return member in self.members
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def without(self, *gone: str) -> "View":
+        remaining = tuple(m for m in self.members if m not in set(gone))
+        return View(self.view_id + 1, remaining)
+
+    def with_member(self, joiner: str) -> "View":
+        if joiner in self.members:
+            return self
+        return View(self.view_id + 1, self.members + (joiner,))
+
+    def to_dict(self) -> dict:
+        return {"view_id": self.view_id, "members": list(self.members)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "View":
+        return cls(int(data["view_id"]), tuple(data["members"]))
+
+    def __str__(self) -> str:
+        return "View#%d%s" % (self.view_id, list(self.members))
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """The delta between two consecutive views, as delivered to listeners."""
+
+    view: View
+    joined: FrozenSet[str]
+    left: FrozenSet[str]
+
+    @classmethod
+    def between(cls, old: "View | None", new: View) -> "ViewChange":
+        old_members = set(old.members) if old is not None else set()
+        new_members = set(new.members)
+        return cls(
+            view=new,
+            joined=frozenset(new_members - old_members),
+            left=frozenset(old_members - new_members),
+        )
+
+    def __str__(self) -> str:
+        return "ViewChange(%s, +%s, -%s)" % (
+            self.view,
+            sorted(self.joined),
+            sorted(self.left),
+        )

@@ -1,0 +1,105 @@
+"""IP address ownership and the unique-IP-per-service strategy (Figure 5).
+
+The :class:`AddressRegistry` is the cluster's ARP-visible truth: which
+node currently answers for which IP. Migrating a uniquely-addressed
+service is a :meth:`AddressRegistry.move`: release on the source, bind on
+the target after the takeover delay (gratuitous-ARP propagation); requests
+arriving in the window are lost, which is exactly the downtime the FIG5
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.future import Completion
+from repro.sim.eventloop import EventLoop
+
+_IP_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+def validate_ip(address: str) -> str:
+    match = _IP_RE.match(address)
+    if match is None or any(int(octet) > 255 for octet in match.groups()):
+        raise ValueError("invalid IPv4 address: %r" % address)
+    return address
+
+
+@dataclass(frozen=True)
+class IpEndpoint:
+    """``ip:port`` — how an Internet-visible service is identified."""
+
+    ip: str
+    port: int
+
+    def __post_init__(self) -> None:
+        validate_ip(self.ip)
+        if not 1 <= self.port <= 65535:
+            raise ValueError("invalid port: %r" % self.port)
+
+    def __str__(self) -> str:
+        return "%s:%d" % (self.ip, self.port)
+
+
+class AddressRegistry:
+    """Which node owns which IP address, with timed takeover."""
+
+    def __init__(self, loop: EventLoop, takeover_seconds: float = 0.5) -> None:
+        self._loop = loop
+        #: Seconds for an address move to become visible (ARP settle time).
+        self.takeover_seconds = takeover_seconds
+        self._owners: Dict[str, str] = {}
+        self.moves = 0
+
+    def bind(self, ip: str, node_id: str) -> None:
+        """Bind ``ip`` to ``node_id`` immediately (initial configuration)."""
+        validate_ip(ip)
+        current = self._owners.get(ip)
+        if current is not None and current != node_id:
+            raise ValueError(
+                "IP %s already bound to %s; release it first" % (ip, current)
+            )
+        self._owners[ip] = node_id
+
+    def release(self, ip: str, node_id: str) -> None:
+        current = self._owners.get(ip)
+        if current != node_id:
+            raise ValueError(
+                "node %s does not own %s (owner: %s)" % (node_id, ip, current)
+            )
+        del self._owners[ip]
+
+    def owner(self, ip: str) -> Optional[str]:
+        return self._owners.get(ip)
+
+    def addresses_of(self, node_id: str) -> List[str]:
+        return sorted(ip for ip, owner in self._owners.items() if owner == node_id)
+
+    def move(self, ip: str, from_node: str, to_node: str) -> "Completion[str]":
+        """Figure 5 migration: release, wait the takeover delay, rebind.
+
+        During the window the IP answers nowhere. Completes with the IP
+        once the new binding is live.
+        """
+        self.release(ip, from_node)
+        self.moves += 1
+        completion: Completion[str] = Completion("ipmove:%s" % ip)
+
+        def rebind() -> None:
+            self._owners[ip] = to_node
+            completion.complete(ip, at=self._loop.clock.now)
+
+        self._loop.call_after(self.takeover_seconds, rebind, label="ipmove:%s" % ip)
+        return completion
+
+    def drop_node(self, node_id: str) -> List[str]:
+        """A node died: all its addresses stop answering instantly."""
+        lost = self.addresses_of(node_id)
+        for ip in lost:
+            del self._owners[ip]
+        return lost
+
+    def __repr__(self) -> str:
+        return "AddressRegistry(%s)" % dict(sorted(self._owners.items()))

@@ -1,0 +1,94 @@
+"""ipvs scheduling disciplines.
+
+The three classic Linux Virtual Server schedulers the load-balancing
+claims rest on: round-robin, weighted round-robin (interleaved, as in
+the kernel implementation) and least-connection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ipvs.server import RealServer
+
+
+class Scheduler:
+    """Picks the next real server for a new connection."""
+
+    name = "base"
+
+    def pick(self, servers: Sequence["RealServer"]) -> Optional["RealServer"]:
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through available servers in order."""
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        self._index = 0
+
+    def pick(self, servers: Sequence["RealServer"]) -> Optional["RealServer"]:
+        available = [s for s in servers if s.available]
+        if not available:
+            return None
+        choice = available[self._index % len(available)]
+        self._index += 1
+        return choice
+
+
+class WeightedRoundRobinScheduler(Scheduler):
+    """Interleaved weighted round-robin (the LVS ``wrr`` algorithm).
+
+    Each pass lowers a current-weight threshold by the gcd of weights;
+    servers whose weight reaches the threshold are eligible, so a
+    weight-3 server gets picked three times as often as a weight-1 one,
+    interleaved rather than bursty.
+    """
+
+    name = "wrr"
+
+    def __init__(self) -> None:
+        self._index = -1
+        self._current_weight = 0
+
+    def pick(self, servers: Sequence["RealServer"]) -> Optional["RealServer"]:
+        available = [s for s in servers if s.available]
+        if not available:
+            return None
+        max_weight = max(s.weight for s in available)
+        if max_weight <= 0:
+            return None
+        gcd = self._gcd_all([s.weight for s in available if s.weight > 0])
+        while True:
+            self._index = (self._index + 1) % len(available)
+            if self._index == 0:
+                self._current_weight -= gcd
+                if self._current_weight <= 0:
+                    self._current_weight = max_weight
+            candidate = available[self._index]
+            if candidate.weight >= self._current_weight:
+                return candidate
+
+    @staticmethod
+    def _gcd_all(weights: List[int]) -> int:
+        from math import gcd
+
+        value = weights[0]
+        for weight in weights[1:]:
+            value = gcd(value, weight)
+        return max(1, value)
+
+
+class LeastConnectionScheduler(Scheduler):
+    """Send new connections to the server with the fewest active ones."""
+
+    name = "lc"
+
+    def pick(self, servers: Sequence["RealServer"]) -> Optional["RealServer"]:
+        available = [s for s in servers if s.available]
+        if not available:
+            return None
+        return min(available, key=lambda s: (s.active_connections, s.node_id))

@@ -1,0 +1,393 @@
+"""The IP virtual server (director) and its fault-tolerant replication.
+
+A :class:`VirtualServer` owns virtual endpoints (``ip:port``) and
+redirects each incoming :class:`Request` to one of the *real servers*
+currently providing the service, per a scheduling discipline. Real servers
+process requests with a service time and a bounded queue, on the event
+loop — so saturation, latency and loss are measurable.
+
+:class:`DirectorCluster` replicates the director itself ("a fault tolerant
+IP virtual server"): the first alive director is primary; when it fails,
+requests are lost during the failover window, then the standby answers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.node import Node, NodeState
+from repro.ipvs.addressing import IpEndpoint
+from repro.ipvs.schedulers import RoundRobinScheduler, Scheduler
+from repro.sim.eventloop import EventLoop
+
+
+@dataclass
+class Request:
+    """One client request to a virtual endpoint."""
+
+    request_id: int
+    endpoint: IpEndpoint
+    arrived_at: float
+    #: Client identity (source address analogue), used by persistent
+    #: (sticky) services to pin a client to one real server.
+    client: Optional[str] = None
+    completed_at: Optional[float] = None
+    served_by: Optional[str] = None
+    dropped: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrived_at
+
+
+class RealServer:
+    """One replica of a service on one node."""
+
+    def __init__(
+        self,
+        node_id: str,
+        port: int,
+        weight: int = 1,
+        service_time: float = 0.01,
+        queue_limit: int = 64,
+        on_served=None,
+    ) -> None:
+        if weight < 0:
+            raise ValueError("weight must be >= 0")
+        if service_time <= 0:
+            raise ValueError("service_time must be > 0")
+        self.node_id = node_id
+        self.port = port
+        self.weight = weight
+        self.service_time = service_time
+        self.queue_limit = queue_limit
+        self.alive = True
+        self.active_connections = 0
+        self.served = 0
+        self._busy_until = 0.0
+        #: Callback ``(request) -> None`` at completion — the hook that
+        #: charges the serving customer's resource ledger.
+        self.on_served = on_served
+
+    @property
+    def available(self) -> bool:
+        return self.alive and self.weight > 0 and (
+            self.active_connections < self.queue_limit
+        )
+
+    def admit(self, request: Request, loop: EventLoop) -> None:
+        """Queue the request; completion fires after queueing + service."""
+        self.active_connections += 1
+        start = max(loop.clock.now, self._busy_until)
+        finish_at = start + self.service_time
+        self._busy_until = finish_at
+
+        def finish() -> None:
+            self.active_connections -= 1
+            if not self.alive:
+                request.dropped = "server-died"
+                return
+            self.served += 1
+            request.completed_at = loop.clock.now
+            request.served_by = self.node_id
+            if self.on_served is not None:
+                try:
+                    self.on_served(request)
+                except Exception:
+                    pass
+
+        loop.call_at(finish_at, finish, label="req:%d" % request.request_id)
+
+    def __repr__(self) -> str:
+        return "RealServer(%s:%d, w=%d, active=%d, served=%d, %s)" % (
+            self.node_id,
+            self.port,
+            self.weight,
+            self.active_connections,
+            self.served,
+            "up" if self.alive else "down",
+        )
+
+
+class VirtualServer:
+    """One ipvs director instance."""
+
+    def __init__(self, director_id: str, loop: EventLoop) -> None:
+        self.director_id = director_id
+        self._loop = loop
+        self.alive = True
+        self._services: Dict[Tuple[str, int], Tuple[Scheduler, List[RealServer]]] = {}
+        #: service key -> persistence window in seconds (0 = stateless).
+        self._persistence: Dict[Tuple[str, int], float] = {}
+        #: (service key, client) -> (node_id, expires_at); LVS "-p" analogue.
+        self._affinity: Dict[Tuple[Tuple[str, int], str], Tuple[str, float]] = {}
+        self.routed = 0
+        self.drops: Counter = Counter()
+
+    # -- configuration ---------------------------------------------------
+    def add_service(
+        self,
+        endpoint: IpEndpoint,
+        scheduler: Optional[Scheduler] = None,
+        persistence_seconds: float = 0.0,
+    ) -> None:
+        key = (endpoint.ip, endpoint.port)
+        if key in self._services:
+            raise ValueError("service %s already configured" % endpoint)
+        self._services[key] = (
+            scheduler if scheduler is not None else RoundRobinScheduler(),
+            [],
+        )
+        if persistence_seconds > 0:
+            self._persistence[key] = persistence_seconds
+
+    def add_real_server(self, endpoint: IpEndpoint, server: RealServer) -> None:
+        key = (endpoint.ip, endpoint.port)
+        if key not in self._services:
+            raise ValueError("no service at %s" % endpoint)
+        self._services[key][1].append(server)
+
+    def remove_real_server(self, endpoint: IpEndpoint, node_id: str) -> int:
+        key = (endpoint.ip, endpoint.port)
+        if key not in self._services:
+            return 0
+        scheduler, servers = self._services[key]
+        before = len(servers)
+        servers[:] = [s for s in servers if s.node_id != node_id]
+        return before - len(servers)
+
+    def real_servers(self, endpoint: IpEndpoint) -> List[RealServer]:
+        key = (endpoint.ip, endpoint.port)
+        if key not in self._services:
+            return []
+        return list(self._services[key][1])
+
+    def services(self) -> List[IpEndpoint]:
+        return [IpEndpoint(ip, port) for ip, port in sorted(self._services)]
+
+    def mark_node(self, node_id: str, alive: bool) -> int:
+        """Health update: flip every real server hosted on ``node_id``."""
+        touched = 0
+        for _, servers in self._services.values():
+            for server in servers:
+                if server.node_id == node_id:
+                    server.alive = alive
+                    touched += 1
+        return touched
+
+    # -- routing -----------------------------------------------------------
+    def route(self, request: Request) -> None:
+        if not self.alive:
+            request.dropped = "director-down"
+            self.drops[request.dropped] += 1
+            return
+        key = (request.endpoint.ip, request.endpoint.port)
+        entry = self._services.get(key)
+        if entry is None:
+            request.dropped = "no-service"
+            self.drops[request.dropped] += 1
+            return
+        scheduler, servers = entry
+        server = self._sticky_server(key, request, servers)
+        if server is None:
+            server = scheduler.pick(servers)
+        if server is None:
+            request.dropped = "no-real-server"
+            self.drops[request.dropped] += 1
+            return
+        self._remember_affinity(key, request, server)
+        self.routed += 1
+        server.admit(request, self._loop)
+
+    def _sticky_server(
+        self,
+        key: Tuple[str, int],
+        request: Request,
+        servers: List[RealServer],
+    ) -> Optional[RealServer]:
+        if request.client is None or key not in self._persistence:
+            return None
+        entry = self._affinity.get((key, request.client))
+        if entry is None:
+            return None
+        node_id, expires_at = entry
+        if self._loop.clock.now > expires_at:
+            del self._affinity[(key, request.client)]
+            return None
+        for server in servers:
+            if server.node_id == node_id and server.available:
+                return server
+        # Pinned server gone/full: fall through to the scheduler, which
+        # will establish a new affinity.
+        return None
+
+    def _remember_affinity(
+        self, key: Tuple[str, int], request: Request, server: RealServer
+    ) -> None:
+        window = self._persistence.get(key)
+        if window is None or request.client is None:
+            return
+        self._affinity[(key, request.client)] = (
+            server.node_id,
+            self._loop.clock.now + window,
+        )
+
+    def __repr__(self) -> str:
+        return "VirtualServer(%s, %d services, routed=%d, %s)" % (
+            self.director_id,
+            len(self._services),
+            self.routed,
+            "up" if self.alive else "down",
+        )
+
+
+class DirectorCluster:
+    """Replicated directors: primary answers, standby takes over on failure.
+
+    Configuration methods apply to every replica so their service tables
+    stay identical (what ``ipvsadm --sync`` achieves for LVS). Connection
+    state is *not* replicated: connections in flight at failover complete
+    on the real servers, but new requests drop until the standby assumes
+    the VIPs (``failover_seconds`` later).
+    """
+
+    def __init__(
+        self, loop: EventLoop, replicas: int = 2, failover_seconds: float = 1.0
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one director")
+        self._loop = loop
+        self.failover_seconds = failover_seconds
+        self.directors = [
+            VirtualServer("ipvs%d" % (i + 1), loop) for i in range(replicas)
+        ]
+        self._primary_index = 0
+        self._takeover_ready_at = 0.0
+        self.requests: List[Request] = []
+        self._next_request_id = 1
+
+    # -- configuration fan-out ---------------------------------------------
+    def add_service(
+        self,
+        endpoint: IpEndpoint,
+        scheduler_factory=RoundRobinScheduler,
+        persistence_seconds: float = 0.0,
+    ) -> None:
+        for director in self.directors:
+            director.add_service(
+                endpoint,
+                scheduler_factory(),
+                persistence_seconds=persistence_seconds,
+            )
+
+    def add_real_server(
+        self,
+        endpoint: IpEndpoint,
+        node_id: str,
+        weight: int = 1,
+        service_time: float = 0.01,
+        queue_limit: int = 64,
+        on_served=None,
+    ) -> None:
+        for director in self.directors:
+            director.add_real_server(
+                endpoint,
+                RealServer(
+                    node_id,
+                    endpoint.port,
+                    weight=weight,
+                    service_time=service_time,
+                    queue_limit=queue_limit,
+                    on_served=on_served,
+                ),
+            )
+
+    def remove_real_server(self, endpoint: IpEndpoint, node_id: str) -> None:
+        for director in self.directors:
+            director.remove_real_server(endpoint, node_id)
+
+    def mark_node(self, node_id: str, alive: bool) -> None:
+        for director in self.directors:
+            director.mark_node(node_id, alive)
+
+    def watch_node(self, node: Node) -> None:
+        """Track a cluster node's health automatically."""
+
+        def on_state(_: Node, state: NodeState) -> None:
+            self.mark_node(node.node_id, state == NodeState.ON)
+
+        node.add_state_listener(on_state)
+
+    # -- director failover ----------------------------------------------------
+    def fail_primary(self) -> None:
+        """Kill the current primary; standby assumes after the window."""
+        primary = self.active_director()
+        if primary is None:
+            return
+        primary.alive = False
+        self._takeover_ready_at = self._loop.clock.now + self.failover_seconds
+
+    def active_director(self) -> Optional[VirtualServer]:
+        for i, director in enumerate(self.directors):
+            if director.alive:
+                if i != self._primary_index:
+                    # A standby: only serving once the takeover settled.
+                    if self._loop.clock.now < self._takeover_ready_at:
+                        return None
+                    self._primary_index = i
+                return director
+        return None
+
+    # -- traffic ---------------------------------------------------------------
+    def submit(self, endpoint: IpEndpoint, client: Optional[str] = None) -> Request:
+        """Inject one request now; routing outcome is on the Request."""
+        request = Request(
+            self._next_request_id,
+            endpoint,
+            arrived_at=self._loop.clock.now,
+            client=client,
+        )
+        self._next_request_id += 1
+        self.requests.append(request)
+        director = self.active_director()
+        if director is None:
+            request.dropped = "no-director"
+            return request
+        director.route(request)
+        return request
+
+    # -- statistics -----------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        completed = [r for r in self.requests if r.ok]
+        dropped = [r for r in self.requests if r.dropped is not None]
+        latencies = [r.latency for r in completed]
+        return {
+            "submitted": float(len(self.requests)),
+            "completed": float(len(completed)),
+            "dropped": float(len(dropped)),
+            "mean_latency": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "max_latency": max(latencies) if latencies else 0.0,
+        }
+
+    def per_node_served(self) -> Dict[str, int]:
+        served: Counter = Counter()
+        for request in self.requests:
+            if request.ok and request.served_by is not None:
+                served[request.served_by] += 1
+        return dict(served)
+
+    def __repr__(self) -> str:
+        return "DirectorCluster(%d directors, %d requests)" % (
+            len(self.directors),
+            len(self.requests),
+        )

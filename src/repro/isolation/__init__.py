@@ -1,0 +1,38 @@
+"""Isolation layer — the Java SecurityManager analogue.
+
+The paper addresses "isolation at the filesystem and network levels" by
+relying on "the SecurityManager provided by the JAVA platform … configured
+by the administrator according to the business policies." This package
+reproduces that reference monitor: typed permissions
+(:class:`FilePermission`, :class:`SocketPermission`,
+:class:`ServicePermission`, :class:`PackagePermission`), an
+administrator-authored :class:`SecurityPolicy` of grants per principal, and
+a :class:`SecurityManager` that virtual instances consult on every
+sensitive operation. Resource quotas (:class:`ResourceQuota`) express the
+per-customer capacity limits the SLA layer enforces.
+"""
+
+from repro.isolation.permissions import (
+    FilePermission,
+    PackagePermission,
+    Permission,
+    ServicePermission,
+    SocketPermission,
+)
+from repro.isolation.policy import Grant, SecurityManager, SecurityPolicy
+from repro.isolation.quotas import QuotaExceeded, ResourceQuota
+from repro.osgi.errors import SecurityViolation
+
+__all__ = [
+    "FilePermission",
+    "Grant",
+    "PackagePermission",
+    "Permission",
+    "QuotaExceeded",
+    "ResourceQuota",
+    "SecurityManager",
+    "SecurityPolicy",
+    "SecurityViolation",
+    "ServicePermission",
+    "SocketPermission",
+]

@@ -1,0 +1,177 @@
+"""Typed permissions with Java-style implication semantics.
+
+A granted permission *implies* a requested one when the grant's target
+pattern covers the request's target and the grant's action set is a
+superset. Target grammars follow ``java.security``:
+
+* files — absolute paths; ``/dir/*`` covers direct children, ``/dir/-``
+  covers the whole subtree;
+* sockets — ``host:port`` where host may be exact, ``*`` or ``*.suffix``
+  and port may be exact, ``low-high``, ``low-`` or ``-high``;
+* services/packages — dotted names with a trailing ``*`` wildcard.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+
+def _parse_actions(actions: "str | Iterable[str]") -> FrozenSet[str]:
+    if isinstance(actions, str):
+        parts = [a.strip() for a in actions.split(",")]
+    else:
+        parts = [str(a).strip() for a in actions]
+    cleaned = frozenset(p.lower() for p in parts if p)
+    if not cleaned:
+        raise ValueError("permission needs at least one action")
+    return cleaned
+
+
+class Permission:
+    """Base permission: equality on (type, target, actions)."""
+
+    def __init__(self, target: str, actions: "str | Iterable[str]") -> None:
+        if not target:
+            raise ValueError("permission target cannot be empty")
+        self.target = target
+        self.actions = _parse_actions(actions)
+
+    def implies(self, other: "Permission") -> bool:
+        """Does holding ``self`` authorize the request ``other``?"""
+        if type(self) is not type(other):
+            return False
+        return self._target_covers(other.target) and other.actions <= self.actions
+
+    def _target_covers(self, requested: str) -> bool:
+        return self.target == requested
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permission):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self.target == other.target
+            and self.actions == other.actions
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.target, self.actions))
+
+    def __repr__(self) -> str:
+        return "%s(%r, %s)" % (
+            type(self).__name__,
+            self.target,
+            ",".join(sorted(self.actions)),
+        )
+
+
+class FilePermission(Permission):
+    """Filesystem access. Actions: read, write, delete, execute."""
+
+    VALID_ACTIONS = frozenset({"read", "write", "delete", "execute"})
+
+    def __init__(self, target: str, actions: "str | Iterable[str]") -> None:
+        super().__init__(target, actions)
+        unknown = self.actions - self.VALID_ACTIONS
+        if unknown:
+            raise ValueError("unknown file actions: %s" % sorted(unknown))
+
+    def _target_covers(self, requested: str) -> bool:
+        if self.target == requested:
+            return True
+        if self.target.endswith("/-"):
+            base = self.target[:-2]
+            return requested == base or requested.startswith(base + "/")
+        if self.target.endswith("/*"):
+            base = self.target[:-2]
+            if not requested.startswith(base + "/"):
+                return False
+            remainder = requested[len(base) + 1 :]
+            return bool(remainder) and "/" not in remainder
+        return False
+
+
+class SocketPermission(Permission):
+    """Network access. Actions: bind, connect, listen, accept."""
+
+    VALID_ACTIONS = frozenset({"bind", "connect", "listen", "accept"})
+
+    def __init__(self, target: str, actions: "str | Iterable[str]") -> None:
+        super().__init__(target, actions)
+        unknown = self.actions - self.VALID_ACTIONS
+        if unknown:
+            raise ValueError("unknown socket actions: %s" % sorted(unknown))
+        self._host, self._ports = _parse_host_port(self.target)
+
+    def _target_covers(self, requested: str) -> bool:
+        host, ports = _parse_host_port(requested)
+        if not _host_covers(self._host, host):
+            return False
+        low, high = self._ports
+        req_low, req_high = ports
+        return low <= req_low and req_high <= high
+
+
+def _parse_host_port(target: str) -> Tuple[str, Tuple[int, int]]:
+    host, _, port_text = target.partition(":")
+    host = host.strip() or "*"
+    port_text = port_text.strip()
+    if not port_text or port_text == "*":
+        return host, (0, 65535)
+    if "-" in port_text:
+        low_text, _, high_text = port_text.partition("-")
+        low = int(low_text) if low_text else 0
+        high = int(high_text) if high_text else 65535
+    else:
+        low = high = int(port_text)
+    if not (0 <= low <= high <= 65535):
+        raise ValueError("invalid port range in %r" % target)
+    return host, (low, high)
+
+
+def _host_covers(pattern: str, host: str) -> bool:
+    if pattern == "*" or pattern == host:
+        return True
+    if pattern.startswith("*."):
+        return host.endswith(pattern[1:])
+    return False
+
+
+class ServicePermission(Permission):
+    """Service registry access. Actions: get, register."""
+
+    VALID_ACTIONS = frozenset({"get", "register"})
+
+    def __init__(self, target: str, actions: "str | Iterable[str]") -> None:
+        super().__init__(target, actions)
+        unknown = self.actions - self.VALID_ACTIONS
+        if unknown:
+            raise ValueError("unknown service actions: %s" % sorted(unknown))
+
+    def _target_covers(self, requested: str) -> bool:
+        return _name_covers(self.target, requested)
+
+
+class PackagePermission(Permission):
+    """Package wiring access. Actions: import, export."""
+
+    VALID_ACTIONS = frozenset({"import", "export"})
+
+    def __init__(self, target: str, actions: "str | Iterable[str]") -> None:
+        super().__init__(target, actions)
+        unknown = self.actions - self.VALID_ACTIONS
+        if unknown:
+            raise ValueError("unknown package actions: %s" % sorted(unknown))
+
+    def _target_covers(self, requested: str) -> bool:
+        return _name_covers(self.target, requested)
+
+
+def _name_covers(pattern: str, requested: str) -> bool:
+    if pattern == requested or pattern == "*":
+        return True
+    if pattern.endswith(".*"):
+        return requested.startswith(pattern[:-1]) or requested == pattern[:-2]
+    if pattern.endswith("*"):
+        return requested.startswith(pattern[:-1])
+    return False

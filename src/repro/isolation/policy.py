@@ -1,0 +1,94 @@
+"""Security policy and reference monitor.
+
+The administrator authors a :class:`SecurityPolicy` — a list of
+:class:`Grant` entries, each giving a *principal* (a customer / virtual
+instance name, or ``"*"``) a set of permissions. The
+:class:`SecurityManager` answers ``check`` calls with deny-by-default
+semantics and keeps an audit log of denials so operators can debug policy,
+which is how the paper expects "business policies" to configure isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isolation.permissions import Permission
+from repro.osgi.errors import SecurityViolation
+
+
+@dataclass
+class Grant:
+    """Permissions awarded to one principal (``"*"`` matches everyone)."""
+
+    principal: str
+    permissions: List[Permission] = field(default_factory=list)
+
+    def covers(self, principal: str, permission: Permission) -> bool:
+        if self.principal != "*" and self.principal != principal:
+            return False
+        return any(granted.implies(permission) for granted in self.permissions)
+
+
+class SecurityPolicy:
+    """An ordered collection of grants; later grants extend earlier ones."""
+
+    def __init__(self, grants: Optional[Sequence[Grant]] = None) -> None:
+        self._grants: List[Grant] = list(grants or [])
+
+    def grant(self, principal: str, *permissions: Permission) -> "SecurityPolicy":
+        """Add permissions for ``principal``; chainable for fluent setup."""
+        for existing in self._grants:
+            if existing.principal == principal:
+                existing.permissions.extend(permissions)
+                return self
+        self._grants.append(Grant(principal, list(permissions)))
+        return self
+
+    def revoke(self, principal: str) -> None:
+        """Remove every grant for ``principal``."""
+        self._grants = [g for g in self._grants if g.principal != principal]
+
+    def implies(self, principal: str, permission: Permission) -> bool:
+        return any(g.covers(principal, permission) for g in self._grants)
+
+    def grants_for(self, principal: str) -> List[Permission]:
+        out: List[Permission] = []
+        for grant in self._grants:
+            if grant.principal in ("*", principal):
+                out.extend(grant.permissions)
+        return out
+
+    def __repr__(self) -> str:
+        return "SecurityPolicy(%d grants)" % len(self._grants)
+
+
+class SecurityManager:
+    """Deny-by-default reference monitor with a denial audit trail."""
+
+    def __init__(self, policy: Optional[SecurityPolicy] = None) -> None:
+        self.policy = policy if policy is not None else SecurityPolicy()
+        self.denials: List[Tuple[str, Permission]] = []
+        self.checks = 0
+
+    def check(self, principal: str, permission: Permission) -> None:
+        """Raise :class:`SecurityViolation` unless the policy allows it."""
+        self.checks += 1
+        if self.policy.implies(principal, permission):
+            return
+        self.denials.append((principal, permission))
+        raise SecurityViolation(
+            "principal %r denied %r" % (principal, permission),
+            permission=repr(permission),
+        )
+
+    def allowed(self, principal: str, permission: Permission) -> bool:
+        """Non-raising variant of :meth:`check` (no audit entry on deny)."""
+        self.checks += 1
+        return self.policy.implies(principal, permission)
+
+    def __repr__(self) -> str:
+        return "SecurityManager(checks=%d, denials=%d)" % (
+            self.checks,
+            len(self.denials),
+        )

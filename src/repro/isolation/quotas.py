@@ -1,0 +1,59 @@
+"""Per-customer resource quotas.
+
+A :class:`ResourceQuota` states the capacity a customer bought in its SLA:
+a CPU share, a memory ceiling and a disk ceiling. The Monitoring Module
+compares measured usage against quotas; the Autonomic Module decides what
+to do about sustained violations (throttle, migrate, stop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+class QuotaExceeded(Exception):
+    """Raised by enforcing call sites when a hard quota would be crossed."""
+
+    def __init__(self, resource: str, used: float, limit: float) -> None:
+        super().__init__(
+            "%s quota exceeded: used %.3f of %.3f" % (resource, used, limit)
+        )
+        self.resource = resource
+        self.used = used
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class ResourceQuota:
+    """Capacity limits for one customer.
+
+    ``cpu_share`` is a fraction of one node's CPU in ``(0, 1]``;
+    ``memory_bytes``/``disk_bytes`` are absolute ceilings.
+    """
+
+    cpu_share: float = 1.0
+    memory_bytes: int = 256 * 1024 * 1024
+    disk_bytes: int = 1024 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_share <= 1.0:
+            raise ValueError("cpu_share must be in (0, 1]: %r" % self.cpu_share)
+        if self.memory_bytes <= 0 or self.disk_bytes <= 0:
+            raise ValueError("memory/disk quotas must be positive")
+
+    def check_memory(self, used_bytes: int) -> None:
+        if used_bytes > self.memory_bytes:
+            raise QuotaExceeded("memory", used_bytes, self.memory_bytes)
+
+    def check_disk(self, used_bytes: int) -> None:
+        if used_bytes > self.disk_bytes:
+            raise QuotaExceeded("disk", used_bytes, self.disk_bytes)
+
+    def headroom(self, usage: Dict[str, float]) -> Dict[str, float]:
+        """Remaining capacity per resource given a usage snapshot."""
+        return {
+            "cpu": self.cpu_share - usage.get("cpu_share", 0.0),
+            "memory": self.memory_bytes - usage.get("memory_bytes", 0),
+            "disk": self.disk_bytes - usage.get("disk_bytes", 0),
+        }

@@ -1,0 +1,286 @@
+"""The Monitoring Module bundle.
+
+Periodically inspects every virtual instance on the node, computes a
+:class:`UsageReport` per instance (CPU share over the last window, memory
+and disk levels), compares it against the customer's quota, and notifies
+listeners — the Autonomic Module chief among them. Two accounting modes:
+
+* ``"jsr284"`` — exact, from the per-bundle ledgers flowing through the
+  instance's JSR-284 resource domains (the paper's hoped-for future);
+* ``"sampling"`` — CPU-only and noisy, through a
+  :class:`~repro.monitoring.sampler.ThreadSampler` (the paper's 2008
+  reality; memory reads ``None``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.monitoring.jsr284 import (
+    CPU_TIME,
+    DISK_SPACE,
+    DomainRegistry,
+    HEAP_MEMORY,
+)
+from repro.monitoring.sampler import ThreadSampler
+from repro.osgi.definition import BundleActivator, BundleDefinition, simple_bundle
+from repro.sim.eventloop import EventLoop, ScheduledEvent
+from repro.vosgi.manager import INSTANCE_MANAGER_CLASS, InstanceManager
+
+#: Object class the Monitoring Module service is registered under.
+MONITORING_CLASS = "monitoring.MonitoringModule"
+
+#: CPU share overshoot tolerated before a report flags violation (10%).
+CPU_TOLERANCE = 1.10
+
+ReportListener = Callable[["UsageReport"], None]
+
+
+@dataclass(frozen=True)
+class UsageReport:
+    """One instance's usage over the last monitoring window."""
+
+    instance: str
+    at: float
+    window: float
+    cpu_share: float
+    cpu_seconds_total: float
+    memory_bytes: Optional[int]
+    disk_bytes: Optional[int]
+    quota_cpu_share: float
+    quota_memory_bytes: int
+    quota_disk_bytes: int
+
+    @property
+    def cpu_violation(self) -> bool:
+        return self.cpu_share > self.quota_cpu_share * CPU_TOLERANCE
+
+    @property
+    def memory_violation(self) -> bool:
+        if self.memory_bytes is None:
+            return False  # sampling mode cannot see memory
+        return self.memory_bytes > self.quota_memory_bytes
+
+    @property
+    def disk_violation(self) -> bool:
+        if self.disk_bytes is None:
+            return False
+        return self.disk_bytes > self.quota_disk_bytes
+
+    @property
+    def any_violation(self) -> bool:
+        return self.cpu_violation or self.memory_violation or self.disk_violation
+
+
+class MonitoringModule:
+    """Samples instances and publishes usage reports."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        manager: InstanceManager,
+        cpu_capacity: float = 1.0,
+        memory_capacity: int = 4 * 1024 * 1024 * 1024,
+        disk_capacity: int = 64 * 1024 * 1024 * 1024,
+        interval: float = 1.0,
+        mode: str = "jsr284",
+        sampler: Optional[ThreadSampler] = None,
+        history_size: int = 128,
+    ) -> None:
+        if mode not in ("jsr284", "sampling"):
+            raise ValueError("mode must be 'jsr284' or 'sampling': %r" % mode)
+        if mode == "sampling" and sampler is None:
+            raise ValueError("sampling mode requires a ThreadSampler")
+        self._loop = loop
+        self.manager = manager
+        self.cpu_capacity = cpu_capacity
+        self.memory_capacity = memory_capacity
+        self.disk_capacity = disk_capacity
+        self.interval = interval
+        self.mode = mode
+        self.sampler = sampler
+        self.domains = DomainRegistry()
+        self._history: Dict[str, Deque[UsageReport]] = {}
+        self._history_size = history_size
+        self._last_cpu: Dict[str, float] = {}
+        self._listeners: List[ReportListener] = []
+        self._timer: Optional[ScheduledEvent] = None
+        self.running = False
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._arm()
+
+    def stop(self) -> None:
+        self.running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _arm(self) -> None:
+        self._timer = self._loop.call_after(self.interval, self._tick, label="monitor")
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self.ticks += 1
+        now = self._loop.clock.now
+        for instance in self.manager.instances():
+            report = self._measure(instance, now)
+            self._history.setdefault(
+                instance.name, deque(maxlen=self._history_size)
+            ).append(report)
+            for listener in list(self._listeners):
+                try:
+                    listener(report)
+                except Exception:
+                    pass
+        self._arm()
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def _measure(self, instance, now: float) -> UsageReport:
+        usage = instance.usage()
+        true_cpu = usage["cpu_seconds"]
+        if self.mode == "sampling":
+            assert self.sampler is not None
+            cpu_total = self.sampler.sample_cpu(true_cpu)
+            memory: Optional[int] = self.sampler.sample_memory(
+                int(usage["memory_bytes"])
+            )
+            disk: Optional[int] = None
+        else:
+            cpu_total = true_cpu
+            memory = int(usage["memory_bytes"])
+            disk = int(usage["disk_bytes"])
+            self._sync_domains(instance.name, cpu_total, memory, disk)
+        previous = self._last_cpu.get(instance.name, cpu_total)
+        self._last_cpu[instance.name] = cpu_total
+        delta = max(0.0, cpu_total - previous)
+        share = delta / (self.interval * self.cpu_capacity)
+        return UsageReport(
+            instance=instance.name,
+            at=now,
+            window=self.interval,
+            cpu_share=share,
+            cpu_seconds_total=cpu_total,
+            memory_bytes=memory,
+            disk_bytes=disk,
+            quota_cpu_share=instance.quota.cpu_share,
+            quota_memory_bytes=instance.quota.memory_bytes,
+            quota_disk_bytes=instance.quota.disk_bytes,
+        )
+
+    def _sync_domains(self, owner: str, cpu: float, memory: int, disk: int) -> None:
+        cpu_domain = self.domains.domain(owner, CPU_TIME)
+        if cpu > cpu_domain.usage:
+            cpu_domain.consume(cpu - cpu_domain.usage)
+        mem_domain = self.domains.domain(owner, HEAP_MEMORY)
+        if memory > mem_domain.usage:
+            mem_domain.consume(memory - mem_domain.usage)
+        elif memory < mem_domain.usage:
+            mem_domain.release(mem_domain.usage - memory)
+        disk_domain = self.domains.domain(owner, DISK_SPACE)
+        if disk > disk_domain.usage:
+            disk_domain.consume(disk - disk_domain.usage)
+        elif disk < disk_domain.usage:
+            disk_domain.release(disk_domain.usage - disk)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def latest(self, instance_name: str) -> Optional[UsageReport]:
+        history = self._history.get(instance_name)
+        return history[-1] if history else None
+
+    def history(self, instance_name: str) -> List[UsageReport]:
+        return list(self._history.get(instance_name, ()))
+
+    def node_summary(self) -> Dict[str, float]:
+        """Whole-node view: used and available capacity right now."""
+        cpu_used = 0.0
+        memory_used = 0
+        disk_used = 0
+        for instance in self.manager.instances():
+            report = self.latest(instance.name)
+            if report is None:
+                continue
+            cpu_used += report.cpu_share
+            memory_used += report.memory_bytes or 0
+            disk_used += report.disk_bytes or 0
+        return {
+            "cpu_used_share": cpu_used,
+            "cpu_available_share": max(0.0, 1.0 - cpu_used),
+            "memory_used_bytes": memory_used,
+            "memory_available_bytes": max(0, self.memory_capacity - memory_used),
+            "disk_used_bytes": disk_used,
+            "disk_available_bytes": max(0, self.disk_capacity - disk_used),
+            "instances": float(self.manager.count),
+        }
+
+    def add_listener(self, listener: ReportListener) -> None:
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: ReportListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def forget(self, instance_name: str) -> None:
+        """Drop history for a departed instance."""
+        self._history.pop(instance_name, None)
+        self._last_cpu.pop(instance_name, None)
+        self.domains.drop_owner(instance_name)
+
+    def __repr__(self) -> str:
+        return "MonitoringModule(%s, interval=%.2fs, ticks=%d)" % (
+            self.mode,
+            self.interval,
+            self.ticks,
+        )
+
+
+class MonitoringModuleActivator(BundleActivator):
+    """Packages the Monitoring Module as a host bundle.
+
+    Finds the Instance Manager through the service registry (the modules
+    are deliberately decoupled, §3) and registers the module under
+    :data:`MONITORING_CLASS`.
+    """
+
+    def __init__(self, loop: EventLoop, **kwargs) -> None:
+        self._loop = loop
+        self._kwargs = kwargs
+        self.module: Optional[MonitoringModule] = None
+
+    def start(self, context) -> None:
+        reference = context.get_service_reference(INSTANCE_MANAGER_CLASS)
+        if reference is None:
+            raise RuntimeError("Monitoring Module requires the Instance Manager")
+        manager = context.get_service(reference)
+        self.module = MonitoringModule(self._loop, manager, **self._kwargs)
+        self.module.start()
+        context.register_service(MONITORING_CLASS, self.module)
+
+    def stop(self, context) -> None:
+        if self.module is not None:
+            self.module.stop()
+            self.module = None
+
+
+def monitoring_bundle(loop: EventLoop, **kwargs) -> BundleDefinition:
+    """Definition for the Monitoring Module bundle."""
+    return simple_bundle(
+        "monitoring.module",
+        version="1.0.0",
+        activator_factory=lambda: MonitoringModuleActivator(loop, **kwargs),
+    )

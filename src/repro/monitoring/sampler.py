@@ -1,0 +1,55 @@
+"""The 2008-era fallback: thread-sampling CPU estimation.
+
+Before JSR-284, the only portable option was ``ThreadMXBean`` per-thread
+CPU times grouped by ``ThreadGroup`` — "a rough measure" (§3.1) that
+needs offline bundle instrumentation [15] and cannot see memory at all.
+
+:class:`ThreadSampler` models the quality of that approach: given the true
+cumulative CPU of an instance it returns an estimate with multiplicative
+noise and quantization to the scheduler tick, and returns ``None`` for
+memory. The ABL benchmarks compare SLA enforcement accuracy under exact
+(JSR-284) vs sampled accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class ThreadSampler:
+    """Noisy CPU-only estimator standing in for ThreadMXBean sampling."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        relative_error: float = 0.15,
+        tick_seconds: float = 0.01,
+    ) -> None:
+        if relative_error < 0:
+            raise ValueError("relative_error must be >= 0")
+        if tick_seconds <= 0:
+            raise ValueError("tick_seconds must be > 0")
+        self._rng = rng
+        self.relative_error = relative_error
+        self.tick_seconds = tick_seconds
+        self.samples_taken = 0
+
+    def sample_cpu(self, true_cpu_seconds: float) -> float:
+        """Estimate cumulative CPU, noisy and tick-quantized."""
+        self.samples_taken += 1
+        noise = 1.0 + self._rng.uniform(-self.relative_error, self.relative_error)
+        noisy = max(0.0, true_cpu_seconds * noise)
+        ticks = round(noisy / self.tick_seconds)
+        return ticks * self.tick_seconds
+
+    def sample_memory(self, true_bytes: int) -> Optional[int]:
+        """Per-instance memory is invisible to the 2008 JVM: always None."""
+        return None
+
+    def __repr__(self) -> str:
+        return "ThreadSampler(err=%.2f, tick=%.3fs, samples=%d)" % (
+            self.relative_error,
+            self.tick_seconds,
+            self.samples_taken,
+        )

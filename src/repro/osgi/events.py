@@ -1,0 +1,162 @@
+"""Framework, bundle and service events with synchronous dispatch.
+
+OSGi delivers lifecycle changes to registered listeners; this module keeps
+the same three event families and a small dispatcher that isolates listener
+failures (a throwing listener produces a FrameworkEvent ERROR instead of
+breaking the publisher, as the spec requires).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+
+class BundleEventType(enum.Enum):
+    INSTALLED = "INSTALLED"
+    RESOLVED = "RESOLVED"
+    STARTING = "STARTING"
+    STARTED = "STARTED"
+    STOPPING = "STOPPING"
+    STOPPED = "STOPPED"
+    UPDATED = "UPDATED"
+    UNRESOLVED = "UNRESOLVED"
+    UNINSTALLED = "UNINSTALLED"
+
+
+class ServiceEventType(enum.Enum):
+    REGISTERED = "REGISTERED"
+    MODIFIED = "MODIFIED"
+    UNREGISTERING = "UNREGISTERING"
+
+
+class FrameworkEventType(enum.Enum):
+    STARTED = "STARTED"
+    STOPPED = "STOPPED"
+    ERROR = "ERROR"
+    WARNING = "WARNING"
+    INFO = "INFO"
+    STARTLEVEL_CHANGED = "STARTLEVEL_CHANGED"
+
+
+@dataclass(frozen=True)
+class BundleEvent:
+    type: BundleEventType
+    bundle: Any  # Bundle; typed loosely to avoid a circular import
+
+    def __str__(self) -> str:
+        return "BundleEvent(%s, %s)" % (self.type.value, self.bundle)
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    type: ServiceEventType
+    reference: Any  # ServiceReference
+
+    def __str__(self) -> str:
+        return "ServiceEvent(%s, %s)" % (self.type.value, self.reference)
+
+
+@dataclass(frozen=True)
+class FrameworkEvent:
+    type: FrameworkEventType
+    source: Any = None
+    error: Optional[BaseException] = None
+    message: str = ""
+
+    def __str__(self) -> str:
+        return "FrameworkEvent(%s, %s)" % (self.type.value, self.message or self.source)
+
+
+class EventDispatcher:
+    """Registry of listeners for the three event families.
+
+    Dispatch is synchronous and ordered by registration; a listener that
+    raises is reported through a FrameworkEvent ERROR (and never unseats
+    other listeners). Service listeners may carry an LDAP filter that is
+    evaluated against the service properties before delivery.
+    """
+
+    def __init__(self) -> None:
+        self._bundle_listeners: List[Callable[[BundleEvent], None]] = []
+        self._service_listeners: List[tuple] = []  # (listener, filter or None)
+        self._framework_listeners: List[Callable[[FrameworkEvent], None]] = []
+        self._delivering_error = False
+
+    # -- registration ---------------------------------------------------
+    def add_bundle_listener(self, listener: Callable[[BundleEvent], None]) -> None:
+        if listener not in self._bundle_listeners:
+            self._bundle_listeners.append(listener)
+
+    def remove_bundle_listener(self, listener: Callable[[BundleEvent], None]) -> None:
+        if listener in self._bundle_listeners:
+            self._bundle_listeners.remove(listener)
+
+    def add_service_listener(
+        self, listener: Callable[[ServiceEvent], None], filter: Any = None
+    ) -> None:
+        self.remove_service_listener(listener)
+        self._service_listeners.append((listener, filter))
+
+    def remove_service_listener(
+        self, listener: Callable[[ServiceEvent], None]
+    ) -> None:
+        self._service_listeners = [
+            (l, f) for (l, f) in self._service_listeners if l is not listener
+        ]
+
+    def add_framework_listener(
+        self, listener: Callable[[FrameworkEvent], None]
+    ) -> None:
+        if listener not in self._framework_listeners:
+            self._framework_listeners.append(listener)
+
+    def remove_framework_listener(
+        self, listener: Callable[[FrameworkEvent], None]
+    ) -> None:
+        if listener in self._framework_listeners:
+            self._framework_listeners.remove(listener)
+
+    def clear(self) -> None:
+        self._bundle_listeners = []
+        self._service_listeners = []
+        self._framework_listeners = []
+
+    # -- dispatch ---------------------------------------------------------
+    def fire_bundle_event(self, event: BundleEvent) -> None:
+        for listener in list(self._bundle_listeners):
+            self._safely(listener, event)
+
+    def fire_service_event(self, event: ServiceEvent) -> None:
+        for listener, flt in list(self._service_listeners):
+            if flt is not None and not flt.matches(event.reference.properties):
+                continue
+            self._safely(listener, event)
+
+    def fire_framework_event(self, event: FrameworkEvent) -> None:
+        for listener in list(self._framework_listeners):
+            try:
+                listener(event)
+            except Exception:
+                # Deliberately swallowed: an erroring framework listener must
+                # not recurse into more ERROR events.
+                pass
+
+    def _safely(self, listener: Callable[[Any], None], event: Any) -> None:
+        try:
+            listener(event)
+        except Exception as exc:
+            if not self._delivering_error:
+                self._delivering_error = True
+                try:
+                    self.fire_framework_event(
+                        FrameworkEvent(
+                            FrameworkEventType.ERROR,
+                            source=listener,
+                            error=exc,
+                            message="listener failed handling %s" % event,
+                        )
+                    )
+                finally:
+                    self._delivering_error = False

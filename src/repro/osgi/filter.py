@@ -1,0 +1,342 @@
+"""RFC 1960 / OSGi LDAP filter language.
+
+The service registry selects services with filter strings such as::
+
+    (&(objectClass=log.LogService)(level>=3)(!(vendor~=acme)))
+
+This module provides a recursive-descent parser producing a :class:`Filter`
+tree that matches against property dictionaries with OSGi semantics:
+
+* attribute names are case-insensitive;
+* ``=`` supports substring patterns (``foo*bar``) and presence (``=*``);
+* ``~=`` is the approximate match (case/whitespace-insensitive);
+* ``>=``/``<=`` compare numerically when the property value is numeric,
+  by version when it is a :class:`~repro.osgi.version.Version`, and
+  lexicographically otherwise;
+* list/tuple-valued properties match when any element matches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.osgi.errors import InvalidSyntaxError
+from repro.osgi.version import Version
+
+
+class Filter:
+    """A parsed LDAP filter node. Build with :func:`parse_filter`."""
+
+    #: node kinds
+    AND = "&"
+    OR = "|"
+    NOT = "!"
+    EQUAL = "="
+    APPROX = "~="
+    GREATER_EQ = ">="
+    LESS_EQ = "<="
+    PRESENT = "=*"
+    SUBSTRING = "substr"
+
+    __slots__ = ("kind", "attribute", "value", "children", "_text")
+
+    def __init__(
+        self,
+        kind: str,
+        attribute: str = "",
+        value: Any = None,
+        children: Optional[List["Filter"]] = None,
+        text: str = "",
+    ) -> None:
+        self.kind = kind
+        self.attribute = attribute
+        self.value = value
+        self.children = children or []
+        self._text = text
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def matches(self, properties: Mapping[str, Any]) -> bool:
+        """Evaluate the filter against ``properties`` (case-insensitive keys)."""
+        lowered = {str(k).lower(): v for k, v in properties.items()}
+        return self._eval(lowered)
+
+    def _eval(self, props: Dict[str, Any]) -> bool:
+        if self.kind == Filter.AND:
+            return all(child._eval(props) for child in self.children)
+        if self.kind == Filter.OR:
+            return any(child._eval(props) for child in self.children)
+        if self.kind == Filter.NOT:
+            return not self.children[0]._eval(props)
+        actual = props.get(self.attribute.lower(), _MISSING)
+        if actual is _MISSING:
+            return False
+        if self.kind == Filter.PRESENT:
+            return True
+        if isinstance(actual, (list, tuple, set, frozenset)):
+            return any(self._compare(item) for item in actual)
+        return self._compare(actual)
+
+    def _compare(self, actual: Any) -> bool:
+        if self.kind == Filter.SUBSTRING:
+            return _substring_match(str(actual), self.value)
+        if self.kind == Filter.EQUAL:
+            return _equal(actual, self.value)
+        if self.kind == Filter.APPROX:
+            return _approx(str(actual)) == _approx(str(self.value))
+        if self.kind == Filter.GREATER_EQ:
+            return _ordered(actual, self.value, greater=True)
+        if self.kind == Filter.LESS_EQ:
+            return _ordered(actual, self.value, greater=False)
+        raise AssertionError("unreachable filter kind %r" % self.kind)
+
+    def __str__(self) -> str:
+        return self._text or self._render()
+
+    def _render(self) -> str:
+        if self.kind in (Filter.AND, Filter.OR):
+            return "(%s%s)" % (self.kind, "".join(c._render() for c in self.children))
+        if self.kind == Filter.NOT:
+            return "(!%s)" % self.children[0]._render()
+        if self.kind == Filter.PRESENT:
+            return "(%s=*)" % self.attribute
+        if self.kind == Filter.SUBSTRING:
+            pattern = "*".join(_escape(part) for part in self.value)
+            return "(%s=%s)" % (self.attribute, pattern)
+        return "(%s%s%s)" % (self.attribute, self.kind, _escape(str(self.value)))
+
+    def __repr__(self) -> str:
+        return "Filter(%s)" % self
+
+
+_MISSING = object()
+
+
+def _escape(value: str) -> str:
+    out = []
+    for ch in value:
+        if ch in "()*\\":
+            out.append("\\")
+        out.append(ch)
+    return "".join(out)
+
+
+def _approx(value: str) -> str:
+    return "".join(value.split()).lower()
+
+
+def _coerce_number(text: str) -> Optional[float]:
+    try:
+        return float(text)
+    except (TypeError, ValueError):
+        return None
+
+
+def _equal(actual: Any, expected: str) -> bool:
+    if isinstance(actual, bool):
+        return str(actual).lower() == expected.strip().lower()
+    if isinstance(actual, (int, float)):
+        number = _coerce_number(expected)
+        return number is not None and float(actual) == number
+    if isinstance(actual, Version):
+        try:
+            return actual == Version.parse(expected)
+        except ValueError:
+            return False
+    return str(actual) == expected
+
+
+def _ordered(actual: Any, expected: str, greater: bool) -> bool:
+    if isinstance(actual, (int, float)) and not isinstance(actual, bool):
+        number = _coerce_number(expected)
+        if number is None:
+            return False
+        return actual >= number if greater else actual <= number
+    if isinstance(actual, Version):
+        try:
+            other = Version.parse(expected)
+        except ValueError:
+            return False
+        return actual >= other if greater else actual <= other
+    text = str(actual)
+    return text >= expected if greater else text <= expected
+
+
+def _substring_match(text: str, parts: Sequence[str]) -> bool:
+    """Match ``parts`` (the segments between ``*``) against ``text``."""
+    first, last = parts[0], parts[-1]
+    if first and not text.startswith(first):
+        return False
+    if last and not text.endswith(last):
+        return False
+    position = len(first)
+    end_limit = len(text) - len(last)
+    for middle in parts[1:-1]:
+        if not middle:
+            continue
+        found = text.find(middle, position, end_limit)
+        if found < 0:
+            return False
+        position = found + len(middle)
+    return position <= end_limit or (len(parts) == 1)
+
+
+class _Parser:
+    """Recursive-descent parser over a filter string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Filter:
+        node = self._parse_filter()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise InvalidSyntaxError(
+                "trailing characters at position %d" % self.pos, self.text
+            )
+        node._text = self.text.strip()
+        return node
+
+    # -- helpers -------------------------------------------------------
+    def _peek(self) -> str:
+        if self.pos >= len(self.text):
+            raise InvalidSyntaxError("unexpected end of input", self.text)
+        return self.text[self.pos]
+
+    def _expect(self, ch: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != ch:
+            raise InvalidSyntaxError(
+                "expected %r at position %d" % (ch, self.pos), self.text
+            )
+        self.pos += 1
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    # -- grammar -------------------------------------------------------
+    def _parse_filter(self) -> Filter:
+        self._skip_ws()
+        self._expect("(")
+        self._skip_ws()
+        ch = self._peek()
+        if ch == "&":
+            node = self._parse_composite(Filter.AND)
+        elif ch == "|":
+            node = self._parse_composite(Filter.OR)
+        elif ch == "!":
+            self.pos += 1
+            child = self._parse_filter()
+            node = Filter(Filter.NOT, children=[child])
+        else:
+            node = self._parse_comparison()
+        self._skip_ws()
+        self._expect(")")
+        return node
+
+    def _parse_composite(self, kind: str) -> Filter:
+        self.pos += 1  # consume & or |
+        children: List[Filter] = []
+        self._skip_ws()
+        while self._peek() == "(":
+            children.append(self._parse_filter())
+            self._skip_ws()
+        if not children:
+            raise InvalidSyntaxError(
+                "composite %r needs at least one operand" % kind, self.text
+            )
+        return Filter(kind, children=children)
+
+    def _parse_comparison(self) -> Filter:
+        attribute = self._parse_attribute()
+        ch = self._peek()
+        if ch == "~":
+            self.pos += 1
+            self._expect("=")
+            value, wildcards = self._parse_value()
+            if wildcards:
+                raise InvalidSyntaxError("~= cannot use wildcards", self.text)
+            return Filter(Filter.APPROX, attribute, value)
+        if ch == ">":
+            self.pos += 1
+            self._expect("=")
+            value, wildcards = self._parse_value()
+            if wildcards:
+                raise InvalidSyntaxError(">= cannot use wildcards", self.text)
+            return Filter(Filter.GREATER_EQ, attribute, value)
+        if ch == "<":
+            self.pos += 1
+            self._expect("=")
+            value, wildcards = self._parse_value()
+            if wildcards:
+                raise InvalidSyntaxError("<= cannot use wildcards", self.text)
+            return Filter(Filter.LESS_EQ, attribute, value)
+        self._expect("=")
+        value, wildcards = self._parse_value()
+        if not wildcards:
+            return Filter(Filter.EQUAL, attribute, value)
+        parts = value  # _parse_value returned the split parts
+        if parts == ["", ""]:
+            return Filter(Filter.PRESENT, attribute)
+        return Filter(Filter.SUBSTRING, attribute, parts)
+
+    def _parse_attribute(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "=<>~()":
+            self.pos += 1
+        attribute = self.text[start : self.pos].strip()
+        if not attribute:
+            raise InvalidSyntaxError(
+                "missing attribute at position %d" % start, self.text
+            )
+        return attribute
+
+    def _parse_value(self) -> Tuple[Union[str, List[str]], bool]:
+        """Return (value, had_wildcards).
+
+        Without wildcards the value is the unescaped string; with wildcards
+        it is the list of literal segments between ``*`` markers.
+        """
+        parts: List[str] = []
+        current: List[str] = []
+        saw_wildcard = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == ")":
+                break
+            if ch == "(":
+                raise InvalidSyntaxError(
+                    "unescaped '(' in value at position %d" % self.pos, self.text
+                )
+            if ch == "\\":
+                self.pos += 1
+                if self.pos >= len(self.text):
+                    raise InvalidSyntaxError("dangling escape", self.text)
+                current.append(self.text[self.pos])
+                self.pos += 1
+                continue
+            if ch == "*":
+                saw_wildcard = True
+                parts.append("".join(current))
+                current = []
+                self.pos += 1
+                continue
+            current.append(ch)
+            self.pos += 1
+        parts.append("".join(current))
+        if saw_wildcard:
+            return parts, True
+        return parts[0], False
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse ``text`` into a :class:`Filter`.
+
+    Raises :class:`~repro.osgi.errors.InvalidSyntaxError` on malformed
+    input.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise InvalidSyntaxError("empty filter", str(text))
+    return _Parser(text).parse()

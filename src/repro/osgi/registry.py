@@ -1,0 +1,331 @@
+"""The OSGi service registry.
+
+Services are plain Python objects published under one or more *object
+class* names with a property dictionary. Lookup supports LDAP filters,
+``service.ranking`` ordering (highest ranking wins, ties broken by lowest
+``service.id`` — i.e. oldest registration), per-bundle use counting and
+service factories producing a distinct instance per consuming bundle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.osgi.errors import ServiceException
+from repro.osgi.events import (
+    EventDispatcher,
+    ServiceEvent,
+    ServiceEventType,
+)
+from repro.osgi.filter import Filter, parse_filter
+
+#: Well-known property names, as in the OSGi spec.
+OBJECTCLASS = "objectClass"
+SERVICE_ID = "service.id"
+SERVICE_RANKING = "service.ranking"
+
+
+class ServiceFactory:
+    """Produce a per-bundle service instance.
+
+    Register a subclass instead of a plain object to hand each consuming
+    bundle its own instance (the OSGi ``ServiceFactory`` pattern — used in
+    this reproduction to give each virtual instance a private facade over a
+    shared base service).
+    """
+
+    def get_service(self, bundle: Any, registration: "ServiceRegistration") -> Any:
+        raise NotImplementedError
+
+    def unget_service(
+        self, bundle: Any, registration: "ServiceRegistration", service: Any
+    ) -> None:
+        """Called when a bundle's use count drops to zero."""
+
+
+class ServiceReference:
+    """Handle to a registered service; safe to hold after unregistration."""
+
+    def __init__(self, registration: "ServiceRegistration") -> None:
+        self._registration = registration
+
+    @property
+    def properties(self) -> Dict[str, Any]:
+        """A copy of the service properties."""
+        return dict(self._registration._properties)
+
+    def get_property(self, key: str) -> Any:
+        return self._registration._properties.get(key)
+
+    @property
+    def service_id(self) -> int:
+        return self._registration._properties[SERVICE_ID]
+
+    @property
+    def ranking(self) -> int:
+        value = self._registration._properties.get(SERVICE_RANKING, 0)
+        return value if isinstance(value, int) else 0
+
+    @property
+    def object_classes(self) -> Sequence[str]:
+        return tuple(self._registration._properties[OBJECTCLASS])
+
+    @property
+    def bundle(self) -> Any:
+        """The bundle that registered the service (None after unregister)."""
+        return self._registration._bundle
+
+    @property
+    def using_bundles(self) -> List[Any]:
+        return list(self._registration._use_counts)
+
+    @property
+    def registered(self) -> bool:
+        return self._registration._registered
+
+    def _sort_key(self):
+        # Highest ranking first, then lowest service id.
+        return (-self.ranking, self.service_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServiceReference):
+            return NotImplemented
+        return self._registration is other._registration
+
+    def __hash__(self) -> int:
+        return id(self._registration)
+
+    def __repr__(self) -> str:
+        classes = ",".join(self._registration._properties.get(OBJECTCLASS, ()))
+        return "ServiceReference(id=%s, %s)" % (
+            self._registration._properties.get(SERVICE_ID),
+            classes,
+        )
+
+
+class ServiceRegistration:
+    """The registrar-side handle: update properties or unregister."""
+
+    def __init__(
+        self,
+        registry: "ServiceRegistry",
+        bundle: Any,
+        classes: Sequence[str],
+        service: Any,
+        properties: Dict[str, Any],
+    ) -> None:
+        self._registry = registry
+        self._bundle = bundle
+        self._service = service
+        self._properties = properties
+        self._registered = True
+        self._reference = ServiceReference(self)
+        self._use_counts: Dict[Any, int] = {}
+        self._factory_instances: Dict[Any, Any] = {}
+
+    @property
+    def reference(self) -> ServiceReference:
+        if not self._registered:
+            raise ServiceException(
+                "service already unregistered", ServiceException.UNREGISTERED
+            )
+        return self._reference
+
+    def set_properties(self, properties: Mapping[str, Any]) -> None:
+        """Replace mutable properties; objectClass and service.id are pinned."""
+        if not self._registered:
+            raise ServiceException(
+                "cannot modify unregistered service", ServiceException.UNREGISTERED
+            )
+        pinned = {
+            OBJECTCLASS: self._properties[OBJECTCLASS],
+            SERVICE_ID: self._properties[SERVICE_ID],
+        }
+        updated = {str(k): v for k, v in properties.items()}
+        updated.update(pinned)
+        self._properties = updated
+        self._registry._dispatcher.fire_service_event(
+            ServiceEvent(ServiceEventType.MODIFIED, self._reference)
+        )
+
+    def unregister(self) -> None:
+        """Withdraw the service; fires UNREGISTERING before removal."""
+        if not self._registered:
+            raise ServiceException(
+                "service already unregistered", ServiceException.UNREGISTERED
+            )
+        self._registry._unregister(self)
+
+    def __repr__(self) -> str:
+        return "ServiceRegistration(%r)" % (self._properties.get(OBJECTCLASS),)
+
+
+class ServiceRegistry:
+    """Central registry; one per framework instance."""
+
+    def __init__(self, dispatcher: EventDispatcher) -> None:
+        self._dispatcher = dispatcher
+        self._registrations: List[ServiceRegistration] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        bundle: Any,
+        classes: "str | Sequence[str]",
+        service: Any,
+        properties: Optional[Mapping[str, Any]] = None,
+    ) -> ServiceRegistration:
+        if isinstance(classes, str):
+            classes = (classes,)
+        classes = tuple(classes)
+        if not classes:
+            raise ServiceException("at least one object class required")
+        if service is None:
+            raise ServiceException("cannot register a None service")
+        props: Dict[str, Any] = {str(k): v for k, v in (properties or {}).items()}
+        props[OBJECTCLASS] = classes
+        props[SERVICE_ID] = self._next_id
+        self._next_id += 1
+        registration = ServiceRegistration(self, bundle, classes, service, props)
+        self._registrations.append(registration)
+        self._dispatcher.fire_service_event(
+            ServiceEvent(ServiceEventType.REGISTERED, registration._reference)
+        )
+        return registration
+
+    def _unregister(self, registration: ServiceRegistration) -> None:
+        self._dispatcher.fire_service_event(
+            ServiceEvent(ServiceEventType.UNREGISTERING, registration._reference)
+        )
+        registration._registered = False
+        registration._bundle = None
+        registration._use_counts.clear()
+        registration._factory_instances.clear()
+        if registration in self._registrations:
+            self._registrations.remove(registration)
+
+    def unregister_all(self, bundle: Any) -> int:
+        """Withdraw every service the bundle registered; returns the count."""
+        mine = [r for r in self._registrations if r._bundle is bundle]
+        for registration in mine:
+            self._unregister(registration)
+        return len(mine)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get_references(
+        self,
+        clazz: Optional[str] = None,
+        filter: "str | Filter | None" = None,
+    ) -> List[ServiceReference]:
+        """All matching references, best-first (ranking, then age)."""
+        parsed: Optional[Filter] = None
+        if filter is not None:
+            parsed = filter if isinstance(filter, Filter) else parse_filter(filter)
+        out: List[ServiceReference] = []
+        for registration in self._registrations:
+            if clazz is not None and clazz not in registration._properties[OBJECTCLASS]:
+                continue
+            if parsed is not None and not parsed.matches(registration._properties):
+                continue
+            out.append(registration._reference)
+        out.sort(key=lambda ref: ref._sort_key())
+        return out
+
+    def get_reference(
+        self, clazz: str, filter: "str | Filter | None" = None
+    ) -> Optional[ServiceReference]:
+        """The best matching reference, or None."""
+        refs = self.get_references(clazz, filter)
+        return refs[0] if refs else None
+
+    # ------------------------------------------------------------------
+    # Use counting
+    # ------------------------------------------------------------------
+    def get_service(self, bundle: Any, reference: ServiceReference) -> Any:
+        """Obtain the service object for ``bundle``, bumping its use count."""
+        registration = reference._registration
+        if not registration._registered:
+            return None
+        service = registration._service
+        if isinstance(service, ServiceFactory):
+            if bundle not in registration._factory_instances:
+                try:
+                    instance = service.get_service(bundle, registration)
+                except Exception as exc:
+                    raise ServiceException(
+                        "service factory failed: %s" % exc,
+                        ServiceException.FACTORY_ERROR,
+                    ) from exc
+                if instance is None:
+                    raise ServiceException(
+                        "service factory returned None",
+                        ServiceException.FACTORY_ERROR,
+                    )
+                registration._factory_instances[bundle] = instance
+            service = registration._factory_instances[bundle]
+        registration._use_counts[bundle] = registration._use_counts.get(bundle, 0) + 1
+        return service
+
+    def unget_service(self, bundle: Any, reference: ServiceReference) -> bool:
+        """Drop one use; returns False when the bundle held no use."""
+        registration = reference._registration
+        count = registration._use_counts.get(bundle, 0)
+        if count == 0:
+            return False
+        if count == 1:
+            del registration._use_counts[bundle]
+            factory_instance = registration._factory_instances.pop(bundle, None)
+            if factory_instance is not None and isinstance(
+                registration._service, ServiceFactory
+            ):
+                try:
+                    registration._service.unget_service(
+                        bundle, registration, factory_instance
+                    )
+                except Exception:
+                    pass  # spec: unget errors must not propagate to the consumer
+        else:
+            registration._use_counts[bundle] = count - 1
+        return True
+
+    def services_of(self, bundle: Any) -> List[ServiceReference]:
+        """References to services registered by ``bundle``."""
+        return [
+            r._reference for r in self._registrations if r._bundle is bundle
+        ]
+
+    def in_use_by(self, bundle: Any) -> List[ServiceReference]:
+        """References to services ``bundle`` currently holds uses of."""
+        return [
+            r._reference
+            for r in self._registrations
+            if bundle in r._use_counts
+        ]
+
+    def release_all(self, bundle: Any) -> None:
+        """Drop every use held by ``bundle`` (on bundle stop)."""
+        for registration in list(self._registrations):
+            if bundle in registration._use_counts:
+                registration._use_counts.pop(bundle, None)
+                instance = registration._factory_instances.pop(bundle, None)
+                if instance is not None and isinstance(
+                    registration._service, ServiceFactory
+                ):
+                    try:
+                        registration._service.unget_service(
+                            bundle, registration, instance
+                        )
+                    except Exception:
+                        pass
+
+    @property
+    def size(self) -> int:
+        return len(self._registrations)
+
+    def __repr__(self) -> str:
+        return "ServiceRegistry(%d services)" % len(self._registrations)

@@ -1,0 +1,160 @@
+"""ServiceTracker: the standard OSGi utility for following services.
+
+A tracker watches the registry for services matching a class and/or filter,
+maintains the current best match, and invokes customizer callbacks on
+add/modify/remove. Modules in this reproduction (Instance Manager,
+Monitoring, Migration, Autonomic) use trackers to find each other without
+hard wiring — the decoupling §3 of the paper asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.osgi.bundle import BundleContext
+from repro.osgi.events import ServiceEvent, ServiceEventType
+from repro.osgi.filter import Filter, parse_filter
+from repro.osgi.registry import OBJECTCLASS, ServiceReference
+
+
+class ServiceTracker:
+    """Track services by object class and optional LDAP filter.
+
+    Lifecycle: :meth:`open` begins tracking (picking up already-registered
+    services), :meth:`close` stops and releases every tracked service.
+
+    Customizers: pass ``on_added``/``on_modified``/``on_removed`` callables
+    receiving ``(reference, service)``. ``on_added`` may return a
+    replacement object to store as the tracked service.
+    """
+
+    def __init__(
+        self,
+        context: BundleContext,
+        clazz: Optional[str] = None,
+        filter: "str | Filter | None" = None,
+        on_added: Optional[Callable[[ServiceReference, Any], Any]] = None,
+        on_modified: Optional[Callable[[ServiceReference, Any], None]] = None,
+        on_removed: Optional[Callable[[ServiceReference, Any], None]] = None,
+    ) -> None:
+        if clazz is None and filter is None:
+            raise ValueError("tracker needs a class, a filter, or both")
+        self._context = context
+        self._clazz = clazz
+        self._filter = parse_filter(filter) if isinstance(filter, str) else filter
+        self._on_added = on_added
+        self._on_modified = on_modified
+        self._on_removed = on_removed
+        self._tracked: Dict[ServiceReference, Any] = {}
+        self._open = False
+        self.tracking_count = 0
+
+    # ------------------------------------------------------------------
+    def open(self) -> None:
+        """Begin tracking; existing matches are delivered immediately."""
+        if self._open:
+            return
+        self._open = True
+        self._context.add_service_listener(self._on_event)
+        for reference in self._context.get_service_references(
+            self._clazz, self._filter
+        ):
+            self._add(reference)
+
+    def close(self) -> None:
+        """Stop tracking and release all held services."""
+        if not self._open:
+            return
+        self._open = False
+        self._context.remove_service_listener(self._on_event)
+        for reference in list(self._tracked):
+            self._remove(reference)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def get_service_references(self) -> List[ServiceReference]:
+        """Currently tracked references, best-first."""
+        refs = list(self._tracked)
+        refs.sort(key=lambda r: r._sort_key())
+        return refs
+
+    def get_service(self) -> Any:
+        """The best tracked service object, or None."""
+        refs = self.get_service_references()
+        return self._tracked[refs[0]] if refs else None
+
+    def get_services(self) -> List[Any]:
+        return [self._tracked[r] for r in self.get_service_references()]
+
+    @property
+    def size(self) -> int:
+        return len(self._tracked)
+
+    # ------------------------------------------------------------------
+    def _matches(self, reference: ServiceReference) -> bool:
+        if self._clazz is not None:
+            classes = reference.get_property(OBJECTCLASS) or ()
+            if self._clazz not in classes:
+                return False
+        if self._filter is not None and not self._filter.matches(
+            reference.properties
+        ):
+            return False
+        return True
+
+    def _on_event(self, event: ServiceEvent) -> None:
+        if not self._open:
+            return
+        reference = event.reference
+        if event.type == ServiceEventType.REGISTERED:
+            if self._matches(reference):
+                self._add(reference)
+        elif event.type == ServiceEventType.MODIFIED:
+            if reference in self._tracked:
+                if self._matches(reference):
+                    self._modify(reference)
+                else:
+                    self._remove(reference)
+            elif self._matches(reference):
+                self._add(reference)
+        elif event.type == ServiceEventType.UNREGISTERING:
+            if reference in self._tracked:
+                self._remove(reference)
+
+    def _add(self, reference: ServiceReference) -> None:
+        if reference in self._tracked:
+            return
+        service = self._context.get_service(reference)
+        if service is None:
+            return
+        if self._on_added is not None:
+            replacement = self._on_added(reference, service)
+            if replacement is not None:
+                service = replacement
+        self._tracked[reference] = service
+        self.tracking_count += 1
+
+    def _modify(self, reference: ServiceReference) -> None:
+        if self._on_modified is not None:
+            self._on_modified(reference, self._tracked[reference])
+        self.tracking_count += 1
+
+    def _remove(self, reference: ServiceReference) -> None:
+        service = self._tracked.pop(reference, None)
+        if self._on_removed is not None and service is not None:
+            self._on_removed(reference, service)
+        try:
+            self._context.unget_service(reference)
+        except Exception:
+            pass  # the context may already be invalid during shutdown
+        self.tracking_count += 1
+
+    def __repr__(self) -> str:
+        return "ServiceTracker(%s, %d tracked, %s)" % (
+            self._clazz or self._filter,
+            len(self._tracked),
+            "open" if self._open else "closed",
+        )

@@ -1,0 +1,180 @@
+"""OSGi version and version-range semantics.
+
+A version is ``major.minor.micro.qualifier`` where the numeric parts
+default to 0 and the qualifier to the empty string; ordering is numeric on
+the three parts and lexicographic on the qualifier. A version range is
+either a single version (meaning ``[v, infinity)``) or an interval like
+``[1.0,2.0)`` with inclusive/exclusive brackets — exactly the grammar of the
+OSGi R4 core specification §3.2.5.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Optional, Tuple
+
+_VERSION_RE = re.compile(
+    r"^(\d+)(?:\.(\d+))?(?:\.(\d+))?(?:\.([0-9A-Za-z_-]+))?$"
+)
+
+
+@total_ordering
+class Version:
+    """An immutable OSGi version."""
+
+    __slots__ = ("major", "minor", "micro", "qualifier")
+
+    def __init__(
+        self, major: int = 0, minor: int = 0, micro: int = 0, qualifier: str = ""
+    ) -> None:
+        if major < 0 or minor < 0 or micro < 0:
+            raise ValueError("version components must be non-negative")
+        if qualifier and not re.match(r"^[0-9A-Za-z_-]+$", qualifier):
+            raise ValueError("invalid version qualifier: %r" % qualifier)
+        self.major = major
+        self.minor = minor
+        self.micro = micro
+        self.qualifier = qualifier
+
+    @classmethod
+    def parse(cls, text: "str | Version") -> "Version":
+        """Parse ``"1.2.3.beta"`` style strings; idempotent on Versions."""
+        if isinstance(text, Version):
+            return text
+        match = _VERSION_RE.match(text.strip())
+        if match is None:
+            raise ValueError("invalid version string: %r" % text)
+        major, minor, micro, qualifier = match.groups()
+        return cls(
+            int(major),
+            int(minor) if minor else 0,
+            int(micro) if micro else 0,
+            qualifier or "",
+        )
+
+    def _key(self) -> Tuple[int, int, int, str]:
+        return (self.major, self.minor, self.micro, self.qualifier)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "Version") -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        base = "%d.%d.%d" % (self.major, self.minor, self.micro)
+        return base + ("." + self.qualifier if self.qualifier else "")
+
+    def __repr__(self) -> str:
+        return "Version(%s)" % self
+
+
+#: The zero version, the default for unversioned exports.
+EMPTY_VERSION = Version(0, 0, 0)
+
+_RANGE_RE = re.compile(r"^([\[\(])\s*([^,\s]+)\s*,\s*([^\]\)\s]+)\s*([\]\)])$")
+
+
+class VersionRange:
+    """An interval of versions, with OSGi bracket syntax.
+
+    ``VersionRange.parse("1.2")`` yields the half-open unbounded range
+    ``[1.2, infinity)``; ``VersionRange.parse("[1.2,2.0)")`` the usual
+    bounded interval.
+    """
+
+    __slots__ = ("floor", "ceiling", "floor_inclusive", "ceiling_inclusive")
+
+    def __init__(
+        self,
+        floor: Version,
+        ceiling: Optional[Version] = None,
+        floor_inclusive: bool = True,
+        ceiling_inclusive: bool = False,
+    ) -> None:
+        self.floor = floor
+        self.ceiling = ceiling
+        self.floor_inclusive = floor_inclusive
+        self.ceiling_inclusive = ceiling_inclusive
+
+    @classmethod
+    def parse(cls, text: "str | VersionRange") -> "VersionRange":
+        if isinstance(text, VersionRange):
+            return text
+        text = text.strip()
+        match = _RANGE_RE.match(text)
+        if match is None:
+            # Bare version => [v, infinity)
+            return cls(Version.parse(text))
+        open_br, low, high, close_br = match.groups()
+        return cls(
+            Version.parse(low),
+            Version.parse(high),
+            floor_inclusive=(open_br == "["),
+            ceiling_inclusive=(close_br == "]"),
+        )
+
+    def includes(self, version: "Version | str") -> bool:
+        """True when ``version`` lies inside the range."""
+        version = Version.parse(version)
+        if self.floor_inclusive:
+            if version < self.floor:
+                return False
+        else:
+            if version <= self.floor:
+                return False
+        if self.ceiling is None:
+            return True
+        if self.ceiling_inclusive:
+            return version <= self.ceiling
+        return version < self.ceiling
+
+    def is_empty(self) -> bool:
+        """True when no version can satisfy the range."""
+        if self.ceiling is None:
+            return False
+        if self.floor > self.ceiling:
+            return True
+        if self.floor == self.ceiling:
+            return not (self.floor_inclusive and self.ceiling_inclusive)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionRange):
+            return NotImplemented
+        return (
+            self.floor == other.floor
+            and self.ceiling == other.ceiling
+            and self.floor_inclusive == other.floor_inclusive
+            and self.ceiling_inclusive == other.ceiling_inclusive
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.floor, self.ceiling, self.floor_inclusive, self.ceiling_inclusive)
+        )
+
+    def __str__(self) -> str:
+        if self.ceiling is None:
+            return str(self.floor)
+        return "%s%s,%s%s" % (
+            "[" if self.floor_inclusive else "(",
+            self.floor,
+            self.ceiling,
+            "]" if self.ceiling_inclusive else ")",
+        )
+
+    def __repr__(self) -> str:
+        return "VersionRange(%s)" % self
+
+
+#: Matches every version; the default for unconstrained imports.
+ANY_VERSION = VersionRange(EMPTY_VERSION)

@@ -1,0 +1,139 @@
+"""The OSGi EventAdmin compendium service: topic-based publish/subscribe.
+
+Topics are ``/``-separated paths (``platform/node/failed``); handlers
+subscribe with exact topics or trailing-wildcard patterns
+(``platform/*``), optionally narrowed by an LDAP filter over the event
+properties — the same filter language the service registry uses.
+Delivery is synchronous (``send_event``) or deferred to the event loop
+(``post_event``); a throwing handler never unseats the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.osgi.bundle import BundleContext
+from repro.osgi.definition import BundleActivator, BundleDefinition, simple_bundle
+from repro.osgi.filter import Filter, parse_filter
+from repro.sim.eventloop import EventLoop
+
+#: Object class the EventAdmin registers under.
+EVENT_ADMIN_CLASS = "org.osgi.service.event.EventAdmin"
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """An EventAdmin event: topic + properties."""
+
+    topic: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.topic or self.topic.startswith("/") or self.topic.endswith("/"):
+            raise ValueError("invalid topic: %r" % self.topic)
+        for segment in self.topic.split("/"):
+            if not segment:
+                raise ValueError("empty segment in topic %r" % self.topic)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+
+def _topic_matches(pattern: str, topic: str) -> bool:
+    if pattern == "*" or pattern == topic:
+        return True
+    if pattern.endswith("/*"):
+        prefix = pattern[:-2]
+        return topic == prefix or topic.startswith(prefix + "/")
+    return False
+
+
+class Subscription:
+    """Handle returned by subscribe; revocable."""
+
+    def __init__(self, admin: "EventAdmin", key: int) -> None:
+        self._admin = admin
+        self._key = key
+
+    def unsubscribe(self) -> None:
+        self._admin._subscriptions.pop(self._key, None)
+
+
+class EventAdmin:
+    """Topic router. One per framework, usually; sharable via VOSGi."""
+
+    def __init__(self, loop: Optional[EventLoop] = None) -> None:
+        self._loop = loop
+        self._subscriptions: Dict[
+            int, Tuple[str, Optional[Filter], Callable[[PlatformEvent], None]]
+        ] = {}
+        self._next_key = 1
+        self.delivered = 0
+        self.posted_pending = 0
+
+    def subscribe(
+        self,
+        topic_pattern: str,
+        handler: Callable[[PlatformEvent], None],
+        filter: "str | Filter | None" = None,
+    ) -> Subscription:
+        """Register ``handler`` for topics matching ``topic_pattern``."""
+        if not topic_pattern:
+            raise ValueError("empty topic pattern")
+        parsed = parse_filter(filter) if isinstance(filter, str) else filter
+        key = self._next_key
+        self._next_key += 1
+        self._subscriptions[key] = (topic_pattern, parsed, handler)
+        return Subscription(self, key)
+
+    def send_event(self, event: PlatformEvent) -> int:
+        """Deliver synchronously; returns the number of handlers reached."""
+        reached = 0
+        for pattern, flt, handler in list(self._subscriptions.values()):
+            if not _topic_matches(pattern, event.topic):
+                continue
+            if flt is not None and not flt.matches(event.properties):
+                continue
+            reached += 1
+            self.delivered += 1
+            try:
+                handler(event)
+            except Exception:
+                pass  # a broken handler must not block the rest
+        return reached
+
+    def post_event(self, event: PlatformEvent) -> None:
+        """Deliver asynchronously on the event loop (requires one)."""
+        if self._loop is None:
+            raise RuntimeError("post_event needs an event loop; use send_event")
+        self.posted_pending += 1
+
+        def deliver() -> None:
+            self.posted_pending -= 1
+            self.send_event(event)
+
+        self._loop.call_soon(deliver, label="eventadmin-post")
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+
+class EventAdminActivator(BundleActivator):
+    def __init__(self, loop: Optional[EventLoop] = None) -> None:
+        self._loop = loop
+        self.admin: Optional[EventAdmin] = None
+
+    def start(self, context: BundleContext) -> None:
+        self.admin = EventAdmin(self._loop)
+        context.register_service(EVENT_ADMIN_CLASS, self.admin)
+
+    def stop(self, context: BundleContext) -> None:
+        self.admin = None
+
+
+def eventadmin_bundle(
+    loop: Optional[EventLoop] = None, name: str = "service.eventadmin"
+) -> BundleDefinition:
+    return simple_bundle(name, activator_factory=lambda: EventAdminActivator(loop))

@@ -1,0 +1,43 @@
+"""Simulated time source.
+
+All components take a :class:`Clock` rather than calling ``time.time`` so
+that an entire multi-node experiment advances on virtual time and is
+repeatable. The clock only moves forward; the event loop owns advancing it.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically non-decreasing virtual clock, in seconds.
+
+    The clock starts at ``0.0``. Only the owning event loop should call
+    :meth:`advance_to`; everything else treats the clock as read-only.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError("clock cannot start before t=0: %r" % start)
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds since the simulation epoch."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`ValueError` on an attempt to move backwards, which
+        would indicate a scheduling bug rather than a recoverable state.
+        """
+        if when < self._now:
+            raise ValueError(
+                "clock moved backwards: now=%r requested=%r" % (self._now, when)
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return "Clock(now=%.6f)" % self._now

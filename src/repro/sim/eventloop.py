@@ -1,0 +1,175 @@
+"""Discrete-event loop with deterministic ordering.
+
+Events fire in ``(time, sequence)`` order: two events scheduled for the same
+instant fire in the order they were scheduled, which keeps multi-node runs
+reproducible regardless of dict/set iteration quirks in caller code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.clock import Clock
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("when", "seq", "action", "label", "cancelled")
+
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        action: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return "ScheduledEvent(t=%.6f, seq=%d, %s, %s)" % (
+            self.when,
+            self.seq,
+            self.label or "anonymous",
+            state,
+        )
+
+
+class EventLoop:
+    """Priority-queue discrete-event scheduler driving a :class:`Clock`.
+
+    Usage::
+
+        loop = EventLoop()
+        loop.call_at(1.5, lambda: print("hello"))
+        loop.run_until(10.0)
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._queue: List[ScheduledEvent] = []
+        self._seq = 0
+        self._fired = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self, when: float, action: Callable[[], Any], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` at absolute virtual time ``when``.
+
+        Scheduling in the past raises :class:`ValueError`; schedule at
+        ``clock.now`` to run "as soon as possible".
+        """
+        if when < self.clock.now:
+            raise ValueError(
+                "cannot schedule in the past: now=%r when=%r"
+                % (self.clock.now, when)
+            )
+        event = ScheduledEvent(when, self._seq, action, label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_after(
+        self, delay: float, action: Callable[[], Any], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` ``delay`` seconds from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError("negative delay: %r" % delay)
+        return self.call_at(self.clock.now + delay, action, label)
+
+    def call_soon(self, action: Callable[[], Any], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` at the current instant, after queued peers."""
+        return self.call_at(self.clock.now, action, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._fired
+
+    def peek_next_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or ``None`` if idle."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].when
+
+    def step(self) -> bool:
+        """Fire the single next event. Returns False when the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.clock.advance_to(event.when)
+        self._fired += 1
+        event.action()
+        return True
+
+    def run_until(self, deadline: float) -> int:
+        """Fire every event scheduled at or before ``deadline``.
+
+        Advances the clock to exactly ``deadline`` afterwards, even when the
+        queue drains early, so timers that measure "quiet" intervals observe
+        the full window. Returns the number of events fired.
+        """
+        fired = 0
+        while True:
+            nxt = self.peek_next_time()
+            if nxt is None or nxt > deadline:
+                break
+            self.step()
+            fired += 1
+        if deadline > self.clock.now:
+            self.clock.advance_to(deadline)
+        return fired
+
+    def run_for(self, duration: float) -> int:
+        """Fire every event in the next ``duration`` seconds of virtual time."""
+        if duration < 0:
+            raise ValueError("negative duration: %r" % duration)
+        return self.run_until(self.clock.now + duration)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Fire events until the queue empties; guard against runaway loops."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise RuntimeError(
+                    "event loop did not quiesce after %d events" % max_events
+                )
+        return fired
+
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:
+        return "EventLoop(now=%.6f, pending=%d, fired=%d)" % (
+            self.clock.now,
+            self.pending,
+            self._fired,
+        )

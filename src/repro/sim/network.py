@@ -1,0 +1,221 @@
+"""Simulated message network between named endpoints.
+
+The network delivers unicast messages between :class:`Endpoint` objects with
+configurable latency, jitter and loss, and supports administrative
+partitions. Delivery order between a fixed (source, destination) pair is
+FIFO — latency jitter is applied per-message but a later message never
+overtakes an earlier one on the same link, matching TCP-like channels the
+paper's middleware (jGCS over a LAN) would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.sim.eventloop import EventLoop
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class Message:
+    """An opaque payload in flight between two endpoints."""
+
+    source: str
+    destination: str
+    payload: Any
+    sent_at: float
+    size_bytes: int = 256
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing traffic seen by the network so far."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_dead: int = 0
+    bytes_sent: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_loss": self.dropped_loss,
+            "dropped_partition": self.dropped_partition,
+            "dropped_dead": self.dropped_dead,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class Endpoint:
+    """A network attachment point with an inbound message handler."""
+
+    def __init__(
+        self,
+        name: str,
+        network: "Network",
+        handler: Callable[[Message], None],
+    ) -> None:
+        self.name = name
+        self._network = network
+        self._handler = handler
+        self.alive = True
+
+    def send(self, destination: str, payload: Any, size_bytes: int = 256) -> None:
+        """Send ``payload`` to the endpoint named ``destination``."""
+        self._network.send(self.name, destination, payload, size_bytes)
+
+    def deliver(self, message: Message) -> None:
+        if self.alive:
+            self._handler(message)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return "Endpoint(%s, %s)" % (self.name, state)
+
+
+@dataclass
+class _Link:
+    """Per-ordered-pair FIFO state: earliest allowed delivery time."""
+
+    next_free_at: float = 0.0
+
+
+class Network:
+    """Latency/loss/partition-aware unicast fabric on a shared event loop.
+
+    Parameters
+    ----------
+    loop:
+        Event loop providing virtual time.
+    rng:
+        Seeded stream factory; the network uses the ``"network"`` stream.
+    latency:
+        Base one-way delay in seconds.
+    jitter:
+        Uniform extra delay in ``[0, jitter]`` seconds per message.
+    loss_rate:
+        Probability in ``[0, 1)`` that a message is silently dropped.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: Optional[RngStreams] = None,
+        latency: float = 0.001,
+        jitter: float = 0.0005,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1): %r" % loss_rate)
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency/jitter must be non-negative")
+        self.loop = loop
+        self._rng = (rng or RngStreams(0)).stream("network")
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.stats = NetworkStats()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._links: Dict[Tuple[str, str], _Link] = {}
+        self._partitions: List[FrozenSet[str]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(self, name: str, handler: Callable[[Message], None]) -> Endpoint:
+        """Create and register an endpoint. Names must be unique."""
+        if name in self._endpoints:
+            raise ValueError("endpoint already attached: %r" % name)
+        endpoint = Endpoint(name, self, handler)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def detach(self, name: str) -> None:
+        """Remove an endpoint; in-flight messages to it are dropped."""
+        endpoint = self._endpoints.pop(name, None)
+        if endpoint is not None:
+            endpoint.alive = False
+
+    def endpoint(self, name: str) -> Optional[Endpoint]:
+        return self._endpoints.get(name)
+
+    def endpoint_names(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, *groups: Set[str]) -> None:
+        """Split the network: traffic may only flow within each group.
+
+        Endpoints not named in any group can talk to each other but to no
+        partitioned endpoint. Replaces any previous partition layout.
+        """
+        self._partitions = [frozenset(g) for g in groups]
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions = []
+
+    def _partitioned(self, a: str, b: str) -> bool:
+        if not self._partitions:
+            return False
+        group_of: Dict[str, int] = {}
+        for i, group in enumerate(self._partitions):
+            for member in group:
+                group_of[member] = i
+        ga = group_of.get(a)
+        gb = group_of.get(b)
+        if ga is None and gb is None:
+            return False
+        return ga != gb
+
+    # ------------------------------------------------------------------
+    # Transfer
+    # ------------------------------------------------------------------
+    def send(
+        self, source: str, destination: str, payload: Any, size_bytes: int = 256
+    ) -> None:
+        """Queue a message for FIFO delivery, applying loss and partitions."""
+        self.stats.sent += 1
+        self.stats.bytes_sent += size_bytes
+        message = Message(source, destination, payload, self.loop.clock.now, size_bytes)
+        if self._partitioned(source, destination):
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.latency + (self._rng.random() * self.jitter if self.jitter else 0.0)
+        link = self._links.setdefault((source, destination), _Link())
+        deliver_at = max(self.loop.clock.now + delay, link.next_free_at)
+        link.next_free_at = deliver_at
+        self.loop.call_at(
+            deliver_at,
+            lambda: self._deliver(message),
+            label="net:%s->%s" % (source, destination),
+        )
+
+    def _deliver(self, message: Message) -> None:
+        # Re-check the partition at delivery time: a partition raised while
+        # the message was in flight also kills it, like a dropped TCP link.
+        if self._partitioned(message.source, message.destination):
+            self.stats.dropped_partition += 1
+            return
+        endpoint = self._endpoints.get(message.destination)
+        if endpoint is None or not endpoint.alive:
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1
+        endpoint.deliver(message)
+
+    def __repr__(self) -> str:
+        return "Network(endpoints=%d, latency=%.4fs, loss=%.3f)" % (
+            len(self._endpoints),
+            self.latency,
+            self.loss_rate,
+        )

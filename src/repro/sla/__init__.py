@@ -1,0 +1,20 @@
+"""Service Level Agreements.
+
+"In SOC the customer buys a given service from the provider based on a
+Service Level Agreement that states the available resources and guarantees
+such as … the dependability of the service." This package gives each
+customer a first-class :class:`~repro.sla.agreement.ServiceLevelAgreement`
+(resource caps + availability target + priority), tracks compliance over
+time (:class:`~repro.sla.tracker.SlaTracker`), and produces the per-
+customer compliance reports the CLAIM-SLA and CLAIM-FAIL benchmarks print.
+"""
+
+from repro.sla.agreement import ServiceLevelAgreement
+from repro.sla.tracker import ComplianceReport, SlaTracker, SlaViolation
+
+__all__ = [
+    "ComplianceReport",
+    "ServiceLevelAgreement",
+    "SlaTracker",
+    "SlaViolation",
+]

@@ -1,0 +1,59 @@
+"""The SLA contract object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isolation.quotas import ResourceQuota
+from repro.migration.registry import CustomerDescriptor
+
+
+@dataclass(frozen=True)
+class ServiceLevelAgreement:
+    """What a customer bought.
+
+    ``availability_target`` is the guaranteed fraction of time the
+    customer's services are up (e.g. 0.999); ``priority`` orders customers
+    when capacity runs short (higher keeps its resources first —
+    "accommodate one with higher priority", §3.2).
+    """
+
+    customer: str
+    cpu_share: float = 0.25
+    memory_bytes: int = 256 * 1024 * 1024
+    disk_bytes: int = 1024 * 1024 * 1024
+    availability_target: float = 0.99
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_share <= 1.0:
+            raise ValueError("cpu_share must be in (0, 1]")
+        if not 0.0 < self.availability_target <= 1.0:
+            raise ValueError("availability_target must be in (0, 1]")
+
+    def quota(self) -> ResourceQuota:
+        return ResourceQuota(
+            cpu_share=self.cpu_share,
+            memory_bytes=self.memory_bytes,
+            disk_bytes=self.disk_bytes,
+        )
+
+    def descriptor(
+        self,
+        packages: tuple = (),
+        services: tuple = (),
+        bundle_count_hint: int = 0,
+        state_bytes_hint: int = 0,
+    ) -> CustomerDescriptor:
+        """The migratable form of this agreement."""
+        return CustomerDescriptor(
+            name=self.customer,
+            packages=packages,
+            services=services,
+            cpu_share=self.cpu_share,
+            memory_bytes=self.memory_bytes,
+            disk_bytes=self.disk_bytes,
+            priority=self.priority,
+            bundle_count_hint=bundle_count_hint,
+            state_bytes_hint=state_bytes_hint,
+        )

@@ -1,0 +1,27 @@
+"""Shared storage substrate — the paper's assumed SAN / distributed FS.
+
+§3.2: *"We assume a underlying SAN or distributed filesystem to ensure
+that data written by each node is accessible globally."* This package
+provides that assumption as a concrete component:
+:class:`~repro.storage.san.SharedStore` is a globally reachable, crash-
+surviving store; each node *mounts* it to obtain a
+:class:`~repro.storage.san.SanFrameworkStorage` that plugs into the OSGi
+framework's persistence layer, plus a globally shared bundle repository
+(the analogue of bundle JARs living on the SAN).
+"""
+
+from repro.storage.san import (
+    Mount,
+    SanFrameworkStorage,
+    SharedStore,
+    StorageError,
+    StoreStats,
+)
+
+__all__ = [
+    "Mount",
+    "SanFrameworkStorage",
+    "SharedStore",
+    "StorageError",
+    "StoreStats",
+]

@@ -1,0 +1,196 @@
+"""Figure 1 made real: per-process instances managed over the network.
+
+The paper's first architecture runs "multiple OSGi instances, each one on
+its own JVM", with an external Instance Manager that "must rely on
+communication methods like RMI, JMX, or TCP/IP connections".
+
+:class:`RemoteInstanceHost` is one such JVM: a framework attached to the
+simulated network that executes management commands it receives.
+:class:`RemoteInstanceManager` is the external manager: every operation is
+a request/reply over the network and completes after the round trip —
+so the management indirection the paper complains about is *measured* (by
+the FIG1 benchmark) rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.future import Completion
+from repro.osgi.bundle import BundleState
+from repro.osgi.definition import BundleDefinition
+from repro.osgi.framework import Framework
+from repro.sim.eventloop import EventLoop
+from repro.sim.network import Message, Network
+
+
+class RemoteInstanceHost:
+    """One customer's dedicated process ("JVM"), remotely managed."""
+
+    def __init__(self, name: str, loop: EventLoop, network: Network) -> None:
+        self.name = name
+        self.loop = loop
+        self.endpoint_name = "jvm/%s" % name
+        self._endpoint = network.attach(self.endpoint_name, self._on_message)
+        self.framework = Framework("jvm:%s" % name)
+        #: Definitions installable by location, the host's local "disk".
+        self.repository: Dict[str, BundleDefinition] = {}
+        self.commands_served = 0
+
+    def provision(self, location: str, definition: BundleDefinition) -> None:
+        """Ship a bundle archive to the host (out-of-band, e.g. scp)."""
+        self.repository[location] = definition
+
+    def crash(self) -> None:
+        self._endpoint.alive = False
+
+    # ------------------------------------------------------------------
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict) or "cmd" not in payload:
+            return
+        self.commands_served += 1
+        reply: Dict[str, Any] = {"reply_to": payload["token"]}
+        try:
+            reply["result"] = self._execute(payload["cmd"], payload.get("args", {}))
+            reply["ok"] = True
+        except Exception as exc:
+            reply["ok"] = False
+            reply["error"] = str(exc)
+        self._endpoint.send(message.source, reply)
+
+    def _execute(self, command: str, args: Dict[str, Any]) -> Any:
+        if command == "start-framework":
+            self.framework.start()
+            return True
+        if command == "stop-framework":
+            self.framework.stop()
+            return True
+        if command == "install":
+            definition = self.repository.get(args["location"])
+            if definition is None:
+                raise KeyError("no archive at %s" % args["location"])
+            bundle = self.framework.install(definition, args["location"])
+            return bundle.bundle_id
+        if command == "start-bundle":
+            self._bundle(args["symbolic_name"]).start()
+            return True
+        if command == "stop-bundle":
+            self._bundle(args["symbolic_name"]).stop()
+            return True
+        if command == "status":
+            return {
+                "active": self.framework.active,
+                "bundles": {
+                    b.symbolic_name: b.state.value for b in self.framework.bundles()
+                },
+            }
+        raise ValueError("unknown command %r" % command)
+
+    def _bundle(self, symbolic_name: str):
+        bundle = self.framework.get_bundle_by_name(symbolic_name)
+        if bundle is None:
+            raise KeyError("no bundle %s" % symbolic_name)
+        return bundle
+
+
+class RemoteInstanceManager:
+    """The external Instance Manager of Figure 1.
+
+    Each call is a network round trip; the returned
+    :class:`~repro.cluster.future.Completion` settles when the reply
+    arrives (or fails on ``timeout``). Round-trip times are recorded in
+    :attr:`round_trip_times` for the FIG1 benchmark.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        timeout: float = 5.0,
+    ) -> None:
+        self.loop = loop
+        self.timeout = timeout
+        self.endpoint_name = "instance-manager"
+        self._endpoint = network.attach(self.endpoint_name, self._on_message)
+        self._hosts: Dict[str, str] = {}  # instance name -> endpoint
+        self._pending: Dict[int, "tuple[Completion, float]"] = {}
+        self._next_token = 1
+        self.round_trip_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    def register_host(self, host: RemoteInstanceHost) -> None:
+        self._hosts[host.name] = host.endpoint_name
+
+    def names(self) -> List[str]:
+        return sorted(self._hosts)
+
+    # ------------------------------------------------------------------
+    def call(self, instance: str, command: str, **args: Any) -> Completion:
+        """Issue one management command to ``instance``'s process."""
+        endpoint = self._hosts.get(instance)
+        if endpoint is None:
+            raise KeyError("unknown instance %r" % instance)
+        token = self._next_token
+        self._next_token += 1
+        completion: Completion = Completion("%s@%s" % (command, instance))
+        sent_at = self.loop.clock.now
+        self._pending[token] = (completion, sent_at)
+        self._endpoint.send(
+            endpoint, {"cmd": command, "args": args, "token": token}
+        )
+
+        def expire() -> None:
+            if completion.done:
+                return
+            self._pending.pop(token, None)
+            completion.fail(
+                TimeoutError("%s to %s timed out" % (command, instance)),
+                at=self.loop.clock.now,
+            )
+
+        self.loop.call_after(self.timeout, expire, label="rim-timeout")
+        return completion
+
+    # Convenience wrappers mirroring the embedded InstanceManager API.
+    def start_framework(self, instance: str) -> Completion:
+        return self.call(instance, "start-framework")
+
+    def stop_framework(self, instance: str) -> Completion:
+        return self.call(instance, "stop-framework")
+
+    def install(self, instance: str, location: str) -> Completion:
+        return self.call(instance, "install", location=location)
+
+    def start_bundle(self, instance: str, symbolic_name: str) -> Completion:
+        return self.call(instance, "start-bundle", symbolic_name=symbolic_name)
+
+    def stop_bundle(self, instance: str, symbolic_name: str) -> Completion:
+        return self.call(instance, "stop-bundle", symbolic_name=symbolic_name)
+
+    def status(self, instance: str) -> Completion:
+        return self.call(instance, "status")
+
+    @property
+    def mean_rtt(self) -> float:
+        if not self.round_trip_times:
+            return 0.0
+        return sum(self.round_trip_times) / len(self.round_trip_times)
+
+    # ------------------------------------------------------------------
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict) or "reply_to" not in payload:
+            return
+        entry = self._pending.pop(payload["reply_to"], None)
+        if entry is None:
+            return  # late reply after timeout
+        completion, sent_at = entry
+        self.round_trip_times.append(self.loop.clock.now - sent_at)
+        if payload.get("ok"):
+            completion.complete(payload.get("result"), at=self.loop.clock.now)
+        else:
+            completion.fail(
+                RuntimeError(payload.get("error", "remote error")),
+                at=self.loop.clock.now,
+            )

@@ -1,0 +1,35 @@
+"""Reusable customer workload bundles.
+
+The examples, tests and benchmarks all need "customer application"
+bundles with controllable behaviour. This package provides the three
+recurring ones as library citizens:
+
+* :class:`~repro.workloads.burner.CpuBurner` — consumes a configurable
+  CPU share per second (drives SLA/monitoring experiments);
+* :class:`~repro.workloads.kvstore.KeyValueStore` — a transactional
+  key-value service over the bundle's SAN data area (the stateful +
+  transactional service archetype of §3.2);
+* :class:`~repro.workloads.webservice.EchoWebService` — registers a
+  servlet with the host-exported ``http.HttpService`` and accounts its
+  request work (the Figure 4 service-composition archetype).
+"""
+
+from repro.workloads.burner import CpuBurner, burner_bundle, drive_burner
+from repro.workloads.kvstore import KV_SERVICE_CLASS, KeyValueStore, kvstore_bundle
+from repro.workloads.webservice import (
+    EchoWebService,
+    HTTP_SERVICE_CLASS,
+    webservice_bundle,
+)
+
+__all__ = [
+    "CpuBurner",
+    "EchoWebService",
+    "HTTP_SERVICE_CLASS",
+    "KV_SERVICE_CLASS",
+    "KeyValueStore",
+    "burner_bundle",
+    "drive_burner",
+    "kvstore_bundle",
+    "webservice_bundle",
+]

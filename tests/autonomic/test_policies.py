@@ -1,0 +1,82 @@
+"""Built-in policies against synthetic events."""
+
+import pytest
+
+from repro.autonomic.policies import sla_enforcement_policy
+from repro.autonomic.serpentine import AutonomicContext, Event
+from repro.monitoring.monitor import UsageReport
+
+
+def report(instance="acme", cpu_share=0.5, quota=0.2, at=0.0, memory=None):
+    return UsageReport(
+        instance=instance,
+        at=at,
+        window=1.0,
+        cpu_share=cpu_share,
+        cpu_seconds_total=cpu_share,
+        memory_bytes=memory,
+        disk_bytes=None,
+        quota_cpu_share=quota,
+        quota_memory_bytes=1024,
+        quota_disk_bytes=1024,
+    )
+
+
+def usage_event(r, at=None):
+    return Event("usage-report", at=at if at is not None else r.at, data={"report": r})
+
+
+class TestSlaEnforcement:
+    def test_fires_after_grace_violations(self):
+        policy = sla_enforcement_policy(grace_violations=3, action_kind="stop-instance")
+        context = AutonomicContext()
+        for t in range(2):
+            assert policy.evaluate(usage_event(report(at=t)), context) == []
+        actions = policy.evaluate(usage_event(report(at=2.0)), context)
+        assert len(actions) == 1
+        assert actions[0].kind == "stop-instance"
+        assert actions[0].target == "acme"
+
+    def test_compliant_report_resets_counter(self):
+        policy = sla_enforcement_policy(grace_violations=2)
+        context = AutonomicContext()
+        policy.evaluate(usage_event(report(at=0.0)), context)
+        # compliant report in between resets the streak
+        policy.evaluate(usage_event(report(cpu_share=0.1, at=1.0)), context)
+        assert policy.evaluate(usage_event(report(at=2.0)), context) == []
+
+    def test_cooldown_prevents_action_storm(self):
+        policy = sla_enforcement_policy(grace_violations=1, action_kind="migrate")
+        context = AutonomicContext()
+        first = policy.evaluate(usage_event(report(at=0.0)), context)
+        assert first
+        # next violation within 5s cooldown: silent
+        assert policy.evaluate(usage_event(report(at=1.0)), context) == []
+        # after cooldown: fires again
+        later = policy.evaluate(usage_event(report(at=10.0)), context)
+        assert later
+
+    def test_distinct_instances_tracked_separately(self):
+        policy = sla_enforcement_policy(grace_violations=2)
+        context = AutonomicContext()
+        policy.evaluate(usage_event(report(instance="a", at=0.0)), context)
+        policy.evaluate(usage_event(report(instance="b", at=0.1)), context)
+        assert policy.evaluate(usage_event(report(instance="a", at=1.0)), context)
+        assert policy.evaluate(usage_event(report(instance="b", at=1.1)), context)
+
+    def test_ignores_other_event_types(self):
+        policy = sla_enforcement_policy(grace_violations=1)
+        context = AutonomicContext()
+        assert policy.evaluate(Event("node-state", at=0.0), context) == []
+
+    def test_invalid_action_kind_rejected(self):
+        with pytest.raises(ValueError):
+            sla_enforcement_policy(action_kind="defenestrate")
+
+    def test_memory_violation_also_counts(self):
+        policy = sla_enforcement_policy(grace_violations=1, action_kind="throttle")
+        context = AutonomicContext()
+        bad_memory = report(cpu_share=0.0, memory=99999, at=0.0)
+        assert bad_memory.memory_violation
+        actions = policy.evaluate(usage_event(bad_memory), context)
+        assert actions and actions[0].kind == "throttle"

@@ -1,0 +1,161 @@
+"""Node lifecycle: boot, fail, shutdown, hibernate, deploy."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeState
+from repro.vosgi.delegation import ExportPolicy
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(2, seed=3)
+
+
+def test_boot_takes_modeled_time():
+    cluster = Cluster(seed=1)
+    node = cluster.add_node("n1")
+    assert node.state == NodeState.OFF
+    completion = node.boot()
+    assert node.state == NodeState.BOOTING
+    cluster.run_until_settled([completion])
+    assert node.state == NodeState.ON
+    assert completion.completed_at == pytest.approx(
+        cluster.costs.node_boot_seconds
+    )
+
+
+def test_boot_brings_up_platform_bundles(cluster):
+    node = cluster.node("n1")
+    assert node.framework is not None
+    assert node.instance_manager is not None
+    assert node.monitoring is not None
+    names = [b.symbolic_name for b in node.framework.bundles()]
+    assert "vosgi.instance-manager" in names
+    assert "monitoring.module" in names
+
+
+def test_boot_from_on_rejected(cluster):
+    with pytest.raises(RuntimeError):
+        cluster.node("n1").boot()
+
+
+def test_deploy_instance_completes_after_delay(cluster):
+    node = cluster.node("n1")
+    before = cluster.loop.clock.now
+    completion = node.deploy_instance("acme", ExportPolicy(), bundle_count_hint=5)
+    cluster.run_until_settled([completion])
+    assert completion.ok
+    assert completion.completed_at - before == pytest.approx(
+        cluster.costs.instance_start_seconds(5)
+    )
+    assert "acme" in node.instance_names()
+
+
+def test_deploy_on_dead_node_rejected(cluster):
+    node = cluster.node("n1")
+    node.fail()
+    with pytest.raises(RuntimeError):
+        node.deploy_instance("acme")
+
+
+def test_deploy_interrupted_by_crash_fails_completion(cluster):
+    node = cluster.node("n1")
+    completion = node.deploy_instance("acme")
+    node.fail()
+    cluster.run_for(5.0)
+    assert completion.done and not completion.ok
+
+
+def test_undeploy_removes_instance(cluster):
+    node = cluster.node("n1")
+    deploy = node.deploy_instance("acme")
+    cluster.run_until_settled([deploy])
+    undeploy = node.undeploy_instance("acme")
+    cluster.run_until_settled([undeploy])
+    assert node.instance_names() == []
+
+
+def test_undeploy_keeps_san_state_by_default(cluster):
+    node = cluster.node("n1")
+    deploy = node.deploy_instance("acme")
+    cluster.run_until_settled([deploy])
+    undeploy = node.undeploy_instance("acme")
+    cluster.run_until_settled([undeploy])
+    assert cluster.store.has_state("vosgi:acme")
+
+
+def test_fail_leaves_san_state_for_survivors(cluster):
+    node = cluster.node("n1")
+    deploy = node.deploy_instance("acme")
+    cluster.run_until_settled([deploy])
+    node.fail()
+    assert node.state == NodeState.FAILED
+    assert cluster.store.has_state("vosgi:acme")
+    other = cluster.node("n2")
+    redeploy = other.deploy_instance("acme")
+    cluster.run_until_settled([redeploy])
+    assert "acme" in other.instance_names()
+
+
+def test_fail_is_idempotent(cluster):
+    node = cluster.node("n1")
+    node.fail()
+    node.fail()
+    assert node.state == NodeState.FAILED
+
+
+def test_shutdown_stops_platform(cluster):
+    node = cluster.node("n1")
+    completion = node.shutdown()
+    assert completion.ok
+    assert node.state == NodeState.OFF
+    assert node.framework is None
+
+
+def test_shutdown_then_reboot_restores_host_platform(cluster):
+    node = cluster.node("n1")
+    node.shutdown()
+    boot = node.boot()
+    cluster.run_until_settled([boot])
+    assert node.state == NodeState.ON
+    assert node.instance_manager is not None
+
+
+def test_hibernate_and_wake(cluster):
+    node = cluster.node("n1")
+    hibernation = node.hibernate()
+    cluster.run_until_settled([hibernation])
+    assert node.state == NodeState.HIBERNATED
+    assert node.power_watts() == node.spec.power_hibernate_watts
+    wake = node.wake()
+    cluster.run_until_settled([wake])
+    assert node.state == NodeState.ON
+
+
+def test_hibernate_requires_on(cluster):
+    node = cluster.node("n1")
+    node.fail()
+    with pytest.raises(RuntimeError):
+        node.hibernate()
+
+
+def test_wake_requires_hibernated(cluster):
+    with pytest.raises(RuntimeError):
+        cluster.node("n1").wake()
+
+
+def test_power_model_shapes(cluster):
+    node = cluster.node("n1")
+    on_power = node.power_watts()
+    assert on_power >= node.spec.power_idle_watts
+    node.fail()
+    assert node.power_watts() == 0.0
+
+
+def test_state_listeners_fire(cluster):
+    node = cluster.node("n1")
+    states = []
+    node.add_state_listener(lambda n, s: states.append(s))
+    node.fail()
+    assert states == [NodeState.FAILED]

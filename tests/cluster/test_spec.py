@@ -1,0 +1,51 @@
+"""Cost model arithmetic."""
+
+import pytest
+
+from repro.cluster.spec import CostModel, NodeSpec
+
+
+def test_san_transfer_time_linear_in_size():
+    costs = CostModel()
+    small = costs.san_transfer_seconds(1024)
+    big = costs.san_transfer_seconds(1024 * 1024 * 100)
+    assert big > small
+    assert big - costs.san_op_seconds == pytest.approx(
+        100 * 1024 * 1024 / costs.san_bytes_per_second
+    )
+
+
+def test_instance_start_scales_with_bundles():
+    costs = CostModel()
+    few = costs.instance_start_seconds(bundle_count=1)
+    many = costs.instance_start_seconds(bundle_count=20)
+    assert many - few == pytest.approx(19 * costs.bundle_start_seconds)
+
+
+def test_cold_platform_adds_boot_time():
+    costs = CostModel()
+    warm = costs.instance_start_seconds(5)
+    cold = costs.instance_start_seconds(5, cold_platform=True)
+    assert cold - warm == pytest.approx(costs.node_boot_seconds)
+
+
+def test_migration_cheaper_than_cold_startup():
+    """The §3.2 claim in cost-model form: redeploying on a warm node beats
+    a full platform startup."""
+    costs = CostModel()
+    migration = costs.instance_stop_seconds(5) + costs.instance_start_seconds(5)
+    cold = costs.instance_start_seconds(5, cold_platform=True)
+    assert migration < cold
+
+
+def test_state_size_adds_transfer_time():
+    costs = CostModel()
+    light = costs.instance_start_seconds(1, state_bytes=0)
+    heavy = costs.instance_start_seconds(1, state_bytes=200 * 1024 * 1024)
+    assert heavy > light + 3.0
+
+
+def test_node_spec_defaults():
+    spec = NodeSpec()
+    assert spec.cpu_capacity == 1.0
+    assert spec.power_idle_watts > spec.power_hibernate_watts > 0

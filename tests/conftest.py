@@ -1,0 +1,86 @@
+"""Shared fixtures and bundle-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.osgi.definition import BundleActivator, BundleDefinition, simple_bundle
+from repro.osgi.framework import Framework
+from repro.sim.clock import Clock
+from repro.sim.eventloop import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop(Clock())
+
+
+@pytest.fixture
+def network(loop: EventLoop) -> Network:
+    return Network(loop, RngStreams(1234))
+
+
+@pytest.fixture
+def lossy_network(loop: EventLoop) -> Network:
+    return Network(loop, RngStreams(1234), loss_rate=0.1)
+
+
+@pytest.fixture
+def framework() -> Framework:
+    fw = Framework("test-framework")
+    fw.start()
+    yield fw
+    if fw.active:
+        fw.stop()
+
+
+class RecordingActivator(BundleActivator):
+    """Activator that records its lifecycle transitions."""
+
+    def __init__(self) -> None:
+        self.events = []
+        self.context = None
+
+    def start(self, context) -> None:
+        self.context = context
+        self.events.append("start")
+
+    def stop(self, context) -> None:
+        self.events.append("stop")
+
+
+class FailingStartActivator(BundleActivator):
+    def start(self, context) -> None:
+        raise RuntimeError("boom on start")
+
+
+class FailingStopActivator(BundleActivator):
+    def start(self, context) -> None:
+        pass
+
+    def stop(self, context) -> None:
+        raise RuntimeError("boom on stop")
+
+
+def library_bundle(
+    name: str = "lib", version: str = "1.0.0", symbol_value: object = None
+) -> BundleDefinition:
+    """A bundle exporting package ``<name>`` with one symbol ``Thing``."""
+    return simple_bundle(
+        name,
+        version=version,
+        exports=('%s;version="%s"' % (name, version),),
+        packages={name: {"Thing": symbol_value if symbol_value is not None else object()}},
+    )
+
+
+def consumer_bundle(
+    name: str, imported: str, version_range: str = "0.0.0"
+) -> BundleDefinition:
+    """A bundle importing package ``imported``."""
+    clause = imported
+    if version_range != "0.0.0":
+        clause = '%s;version="%s"' % (imported, version_range)
+    return simple_bundle(name, imports=(clause,))

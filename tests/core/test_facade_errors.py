@@ -1,0 +1,48 @@
+"""Facade error paths."""
+
+import pytest
+
+from repro.core import DependableEnvironment
+from repro.ipvs.addressing import IpEndpoint
+from repro.sla import ServiceLevelAgreement
+
+
+@pytest.fixture
+def env():
+    return DependableEnvironment.build(node_count=2, seed=41)
+
+
+def test_expose_service_for_unknown_customer_rejected(env):
+    with pytest.raises(ValueError):
+        env.expose_service("ghost", IpEndpoint("10.1.1.1", 80))
+
+
+def test_migrate_unknown_customer_rejected(env):
+    with pytest.raises(ValueError):
+        env.migrate_customer("ghost", "n2")
+
+
+def test_customer_lookup_unknown_raises(env):
+    with pytest.raises(KeyError):
+        env.customer("ghost")
+
+
+def test_locate_unknown_returns_none(env):
+    assert env.locate("ghost") is None
+
+
+def test_compliance_empty_before_admissions(env):
+    assert env.compliance() == []
+
+
+def test_admit_to_dead_node_fails(env):
+    env.fail_node("n2")
+    with pytest.raises(RuntimeError):
+        env.admit_customer(
+            ServiceLevelAgreement("acme", cpu_share=0.2), node_id="n2"
+        )
+
+
+def test_repair_of_healthy_node_fails_cleanly(env):
+    completion = env.repair_node("n1")  # n1 is ON; boot() must refuse
+    assert completion.done and not completion.ok

@@ -1,0 +1,52 @@
+"""Warm standby through the environment facade."""
+
+import pytest
+
+from repro.core import DependableEnvironment
+from repro.sla import ServiceLevelAgreement
+
+
+@pytest.fixture
+def env():
+    return DependableEnvironment.build(node_count=3, seed=23)
+
+
+def admit(env, name, node_id=None):
+    completion = env.admit_customer(
+        ServiceLevelAgreement(name, cpu_share=0.2), node_id=node_id
+    )
+    env.cluster.run_until_settled([completion])
+    env.run_for(1.5)
+    return completion.result()
+
+
+def test_prepare_standby_creates_manager_lazily(env):
+    admit(env, "acme", node_id="n1")
+    preparation = env.prepare_standby("acme", "n2")
+    env.cluster.run_until_settled([preparation])
+    manager = env.cluster.node("n2").modules["standby"]
+    assert manager.is_prepared("acme")
+
+
+def test_failover_promotes_standby(env):
+    admit(env, "acme", node_id="n1")
+    preparation = env.prepare_standby("acme", "n3")
+    env.cluster.run_until_settled([preparation])
+    env.run_for(1.5)
+    env.fail_node("n1")
+    env.run_for(5.0)
+    assert env.locate("acme") == "n3"
+
+
+def test_standby_failover_beats_cold_failover_availability(env):
+    admit(env, "warm", node_id="n1")
+    admit(env, "cold", node_id="n1")
+    preparation = env.prepare_standby("warm", "n2")
+    env.cluster.run_until_settled([preparation])
+    env.run_for(2.0)
+    env.fail_node("n1")
+    env.run_for(6.0)
+    now = env.loop.clock.now
+    warm_report = env.sla_tracker.report("warm", now)
+    cold_report = env.sla_tracker.report("cold", now)
+    assert warm_report.downtime < cold_report.downtime

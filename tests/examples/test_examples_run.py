@@ -1,0 +1,54 @@
+"""Every shipped example must run to completion (guards against bit-rot)."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert EXAMPLES, "no examples found at %s" % EXAMPLES_DIR
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_and_prints(script):
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = captured.getvalue()
+    assert len(output) > 100, "%s produced almost no output" % script
+
+
+def test_quickstart_shows_failover():
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = captured.getvalue()
+    assert "redeployed on" in output
+    assert "ComplianceReport" in output
+
+
+def test_ha_shop_promotes_standby_and_keeps_orders():
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(str(EXAMPLES_DIR / "ha_shop.py"), run_name="__main__")
+    output = captured.getvalue()
+    assert "orders after failover: ['o-1', 'o-2']" in output
+    assert "promoted to" in output
+
+
+def test_module_entrypoint_runs():
+    from repro.__main__ import main
+
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        code = main(["--nodes", "3", "--seed", "5"])
+    assert code == 0
+    output = captured.getvalue()
+    assert "compliance" in output

@@ -1,0 +1,83 @@
+"""Adaptive (accrual-style) failure detection."""
+
+import pytest
+
+from repro.gcs.directory import GroupDirectory
+from repro.gcs.member import GroupMember
+from repro.sim.eventloop import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams
+
+
+def build_pair(loss=0.0, seed=9, adaptive=True, fd_timeout=2.0):
+    loop = EventLoop()
+    network = Network(loop, RngStreams(seed), loss_rate=loss)
+    directory = GroupDirectory()
+    members = []
+    for name in ("n1", "n2"):
+        member = GroupMember(
+            name,
+            "g",
+            loop,
+            network,
+            directory,
+            hb_interval=0.1,
+            fd_timeout=fd_timeout,
+            adaptive_fd=adaptive,
+        )
+        member.join()
+        loop.run_for(0.5)
+        members.append(member)
+    loop.run_for(1.0)
+    return loop, members
+
+
+def test_adaptive_timeout_converges_near_interval_on_clean_network():
+    loop, (m1, m2) = build_pair(loss=0.0)
+    loop.run_for(20.0)
+    timeout = m1._timeout_for(m2.endpoint_name)
+    # Clean links: mean ~0.1 -> factor x mean ~0.6, well under the 2 s cap.
+    assert 0.2 <= timeout <= 0.75
+
+
+def test_adaptive_timeout_widens_under_loss():
+    loop, (m1, m2) = build_pair(loss=0.3, seed=5)
+    loop.run_for(30.0)
+    lossy_timeout = m1._timeout_for(m2.endpoint_name)
+    loop2, (c1, c2) = build_pair(loss=0.0, seed=5)
+    loop2.run_for(30.0)
+    clean_timeout = c1._timeout_for(c2.endpoint_name)
+    assert lossy_timeout > clean_timeout
+
+
+def test_adaptive_never_exceeds_configured_ceiling():
+    loop, (m1, m2) = build_pair(loss=0.45, seed=77, fd_timeout=1.5)
+    loop.run_for(30.0)
+    assert m1._timeout_for(m2.endpoint_name) <= 1.5
+
+
+def test_adaptive_detects_real_crash_quickly_on_clean_network():
+    loop, (m1, m2) = build_pair(loss=0.0)
+    loop.run_for(20.0)
+    crash_at = loop.clock.now
+    m2.crash()
+    loop.run_for(5.0)
+    hits = [t - crash_at for t, who in m1.suspicions if t >= crash_at]
+    assert hits
+    # Adaptive detection on a clean link: well under the 2.0 s ceiling.
+    assert min(hits) < 0.8
+
+
+def test_adaptive_avoids_false_suspicions_under_loss():
+    loop, (m1, m2) = build_pair(loss=0.25, seed=13)
+    baseline = loop.clock.now
+    loop.run_for(60.0)
+    false_hits = [t for t, _ in m1.suspicions if t >= baseline]
+    assert false_hits == []
+    assert m1.view.size == 2
+
+
+def test_fixed_mode_unaffected_by_statistics():
+    loop, (m1, m2) = build_pair(loss=0.0, adaptive=False, fd_timeout=0.8)
+    loop.run_for(10.0)
+    assert m1._timeout_for(m2.endpoint_name) == 0.8

@@ -1,0 +1,157 @@
+"""Reliable channel: at-least-once transport, exactly-once delivery."""
+
+import pytest
+
+from repro.gcs.channel import ReliableChannel
+from repro.sim.eventloop import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams
+
+
+def make_channel(loop, network, name, inbox):
+    endpoint = network.attach(name, lambda m: channel.handle_raw(m))
+    channel = ReliableChannel(
+        name, endpoint, loop, lambda sender, body: inbox.append((sender, body))
+    )
+    return channel
+
+
+def test_delivery_over_perfect_network(loop, network):
+    inbox_a, inbox_b = [], []
+    a = make_channel(loop, network, "a", inbox_a)
+    b = make_channel(loop, network, "b", inbox_b)
+    a.send("b", {"v": 1})
+    loop.run_for(1.0)
+    assert inbox_b == [("a", {"v": 1})]
+    assert a.pending_count == 0  # acked
+
+
+def test_delivery_despite_heavy_loss(loop):
+    network = Network(loop, RngStreams(99), loss_rate=0.4)
+    inbox_a, inbox_b = [], []
+    a = make_channel(loop, network, "a", inbox_a)
+    b = make_channel(loop, network, "b", inbox_b)
+    for i in range(30):
+        a.send("b", i)
+    loop.run_for(30.0)
+    assert sorted(body for _, body in inbox_b) == list(range(30))
+    assert a.retransmits > 0
+
+
+def test_duplicates_filtered(loop):
+    # Loss of acks forces retransmission of already-delivered messages.
+    network = Network(loop, RngStreams(5), loss_rate=0.3)
+    inbox_a, inbox_b = [], []
+    a = make_channel(loop, network, "a", inbox_a)
+    b = make_channel(loop, network, "b", inbox_b)
+    a.send("b", "once")
+    loop.run_for(10.0)
+    assert inbox_b.count(("a", "once")) == 1
+
+
+def test_cancel_stops_retransmission(loop):
+    network = Network(loop, RngStreams(1), loss_rate=0.99)  # almost all lost
+    inbox = []
+    a = make_channel(loop, network, "a", inbox)
+    network.attach("void", lambda m: None)
+    msg_id = a.send("void", "x")
+    loop.run_for(0.2)
+    a.cancel(msg_id)
+    sent_after_cancel = a.sent
+    loop.run_for(5.0)
+    assert a.sent == sent_after_cancel
+
+
+def test_cancel_to_destination(loop, network):
+    inbox = []
+    a = make_channel(loop, network, "a", inbox)
+    # No endpoint "dead" attached: sends stay pending forever.
+    a.send("dead", 1)
+    a.send("dead", 2)
+    a.send("other", 3)
+    assert a.pending_count == 3
+    a.cancel_to("dead")
+    assert a.pending_count == 1
+
+
+def test_close_cancels_everything(loop, network):
+    inbox = []
+    a = make_channel(loop, network, "a", inbox)
+    a.send("nowhere", 1)
+    a.close()
+    assert a.pending_count == 0
+    assert a.send("nowhere", 2) == -1
+
+
+def test_gives_up_after_max_retries(loop, network):
+    inbox = []
+    a = make_channel(loop, network, "a", inbox)
+    a.send("never-exists", "x")
+    loop.run_for(60.0)
+    assert a.pending_count == 0
+    assert a.retransmits <= ReliableChannel.MAX_RETRIES
+
+
+def test_non_channel_traffic_passed_over(loop, network):
+    inbox = []
+    a = make_channel(loop, network, "a", inbox)
+    from repro.sim.network import Message
+
+    assert a.handle_raw(Message("x", "a", {"other": 1}, 0.0)) is False
+    assert a.handle_raw(Message("x", "a", "plain", 0.0)) is False
+    assert inbox == []
+
+
+def test_reincarnated_sender_not_deduplicated(loop, network):
+    """Regression: a rebooted node's fresh channel reuses message ids; the
+    receiver must not mistake them for its previous life's messages."""
+    inbox_b = []
+    b = make_channel(loop, network, "b", inbox_b)
+    # First life of "a": sends ids 0 and 1.
+    inbox_a1 = []
+    a1 = make_channel(loop, network, "a", inbox_a1)
+    a1.send("b", "life1-msg0")
+    a1.send("b", "life1-msg1")
+    loop.run_for(1.0)
+    assert [m for _, m in inbox_b] == ["life1-msg0", "life1-msg1"]
+    # Crash and reboot: new channel on the same endpoint name.
+    a1.close()
+    network.detach("a")
+    inbox_a2 = []
+    a2 = make_channel(loop, network, "a", inbox_a2)
+    a2.send("b", "life2-msg0")  # same id 0 as life 1
+    a2.send("b", "life2-msg1")
+    loop.run_for(1.0)
+    assert [m for _, m in inbox_b] == [
+        "life1-msg0",
+        "life1-msg1",
+        "life2-msg0",
+        "life2-msg1",
+    ]
+
+
+def test_stale_ack_from_previous_life_ignored(loop, network):
+    """An ack produced for a previous incarnation's message id must not
+    cancel the current incarnation's pending retransmission."""
+    from repro.sim.network import Message
+
+    inbox = []
+    a = make_channel(loop, network, "a", inbox)
+    network.attach("peer", lambda m: None)
+    a.send("peer", "needs-retransmit")
+    assert a.pending_count == 1
+    # Forge an ack for id 0 of a *different* incarnation.
+    a.handle_raw(
+        Message("peer", "a", {"rc": {"kind": "ack", "id": 0, "inc": -999}}, 0.0)
+    )
+    assert a.pending_count == 1  # still pending
+    # The genuine ack (same incarnation) does cancel it.
+    a.handle_raw(
+        Message(
+            "peer",
+            "a",
+            {"rc": {"kind": "ack", "id": 0, "inc": a.incarnation}},
+            0.0,
+        )
+    )
+    assert a.pending_count == 0

@@ -1,0 +1,65 @@
+"""Property-based membership churn: views converge among survivors."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gcs.directory import GroupDirectory
+from repro.gcs.member import GroupMember
+from repro.sim.eventloop import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams
+
+# Each script step: (action, member_index). Actions keep at least one
+# member alive by construction below.
+actions = st.lists(
+    st.tuples(st.sampled_from(["join", "leave", "crash"]), st.integers(0, 4)),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(script=actions, seed=st.integers(0, 10_000))
+def test_views_converge_after_arbitrary_churn(script, seed):
+    loop = EventLoop()
+    network = Network(loop, RngStreams(seed), loss_rate=0.05)
+    directory = GroupDirectory()
+    members = {}
+    next_id = 0
+
+    def alive():
+        return [m for m in members.values() if m.running]
+
+    for action, index in script:
+        if action == "join":
+            name = "m%02d" % next_id
+            next_id += 1
+            member = GroupMember(name, "g", loop, network, directory)
+            members[name] = member
+            member.join()
+        else:
+            candidates = alive()
+            if len(candidates) <= 1:
+                continue  # keep at least one alive
+            victim = candidates[index % len(candidates)]
+            if action == "leave":
+                victim.leave()
+            else:
+                victim.crash()
+        loop.run_for(0.7)
+
+    if not alive():
+        member = GroupMember("mfinal", "g", loop, network, directory)
+        members["mfinal"] = member
+        member.join()
+
+    # Let failure detection, merges and retransmissions settle.
+    loop.run_for(20.0)
+
+    survivors = alive()
+    assert survivors, "at least one member must survive by construction"
+    views = {m.view for m in survivors}
+    assert len(views) == 1, "survivors disagree: %s" % views
+    view = views.pop()
+    assert set(view.members) == {m.endpoint_name for m in survivors}
+    coordinators = [m for m in survivors if m.is_coordinator]
+    assert len(coordinators) == 1

@@ -1,0 +1,40 @@
+"""Group discovery directory."""
+
+from repro.gcs.directory import GroupDirectory
+
+
+def test_register_and_lookup_sorted():
+    directory = GroupDirectory()
+    directory.register("g", "b")
+    directory.register("g", "a")
+    assert directory.lookup("g") == ["a", "b"]
+
+
+def test_lookup_unknown_group_empty():
+    assert GroupDirectory().lookup("ghost") == []
+
+
+def test_deregister_removes_member():
+    directory = GroupDirectory()
+    directory.register("g", "a")
+    directory.deregister("g", "a")
+    assert directory.lookup("g") == []
+    assert directory.groups() == []
+
+
+def test_deregister_unknown_is_noop():
+    GroupDirectory().deregister("g", "a")
+
+
+def test_groups_enumerated():
+    directory = GroupDirectory()
+    directory.register("b-group", "x")
+    directory.register("a-group", "x")
+    assert directory.groups() == ["a-group", "b-group"]
+
+
+def test_double_register_idempotent():
+    directory = GroupDirectory()
+    directory.register("g", "a")
+    directory.register("g", "a")
+    assert directory.lookup("g") == ["a"]

@@ -1,0 +1,101 @@
+"""jGCS facade: protocol, sessions, listener management."""
+
+import pytest
+
+from repro.gcs.directory import GroupDirectory
+from repro.gcs.jgcs import ControlSession, DataSession, GroupConfiguration, Protocol
+
+
+@pytest.fixture
+def directory():
+    return GroupDirectory()
+
+
+def make_protocol(name, loop, network, directory):
+    return Protocol(name, loop, network, directory)
+
+
+def test_sessions_share_one_member_per_group(loop, network, directory):
+    protocol = make_protocol("n1", loop, network, directory)
+    config = GroupConfiguration("g")
+    data = protocol.create_data_session(config)
+    control = protocol.create_control_session(config)
+    control.join()
+    loop.run_for(0.5)
+    assert control.joined
+    data.multicast("hello")  # would raise if sessions used different members
+    loop.run_for(0.5)
+    assert data.delivered_count == 1
+
+
+def test_distinct_groups_get_distinct_members(loop, network, directory):
+    protocol = make_protocol("n1", loop, network, directory)
+    c1 = protocol.create_control_session(GroupConfiguration("g1"))
+    c2 = protocol.create_control_session(GroupConfiguration("g2"))
+    c1.join()
+    c2.join()
+    loop.run_for(0.5)
+    assert c1.current_view.members == ("gcs/g1/n1",)
+    assert c2.current_view.members == ("gcs/g2/n1",)
+
+
+def test_membership_listener_add_remove(loop, network, directory):
+    protocol = make_protocol("n1", loop, network, directory)
+    control = protocol.create_control_session(GroupConfiguration("g"))
+    changes = []
+    control.set_membership_listener(changes.append)
+    control.join()
+    loop.run_for(0.5)
+    assert len(changes) == 1
+    control.remove_membership_listener(changes.append)
+
+
+def test_message_listener_add_remove(loop, network, directory):
+    protocol = make_protocol("n1", loop, network, directory)
+    config = GroupConfiguration("g")
+    control = protocol.create_control_session(config)
+    data = protocol.create_data_session(config)
+    control.join()
+    loop.run_for(0.5)
+    seen = []
+    listener = lambda s, m: seen.append(m)  # noqa: E731
+    data.set_message_listener(listener)
+    data.set_message_listener(listener)  # idempotent
+    data.multicast("x")
+    loop.run_for(0.5)
+    assert seen == ["x"]
+    data.remove_message_listener(listener)
+    data.multicast("y")
+    loop.run_for(0.5)
+    assert seen == ["x"]
+
+
+def test_local_id_and_coordinator_flags(loop, network, directory):
+    p1 = make_protocol("n1", loop, network, directory)
+    p2 = make_protocol("n2", loop, network, directory)
+    config = GroupConfiguration("g")
+    c1 = p1.create_control_session(config)
+    c2 = p2.create_control_session(config)
+    c1.join()
+    loop.run_for(0.5)
+    c2.join()
+    loop.run_for(1.0)
+    assert c1.local_id == "gcs/g/n1"
+    assert c1.is_coordinator
+    assert not c2.is_coordinator
+
+
+def test_protocol_crash_stops_all_groups(loop, network, directory):
+    p1 = make_protocol("n1", loop, network, directory)
+    p2 = make_protocol("n2", loop, network, directory)
+    config = GroupConfiguration("g", fd_timeout=0.5)
+    c1 = p1.create_control_session(config)
+    c2 = p2.create_control_session(config)
+    c1.join()
+    loop.run_for(0.5)
+    c2.join()
+    loop.run_for(1.0)
+    p1.crash()
+    loop.run_for(3.0)
+    assert not c1.joined
+    assert c2.current_view.members == ("gcs/g/n2",)

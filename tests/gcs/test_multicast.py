@@ -1,0 +1,150 @@
+"""FIFO and total-order multicast properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gcs.directory import GroupDirectory
+from repro.gcs.member import GroupMember
+from repro.sim.eventloop import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams
+
+
+def build_group(n, seed=0, loss=0.0):
+    loop = EventLoop()
+    network = Network(loop, RngStreams(seed), loss_rate=loss)
+    directory = GroupDirectory()
+    members = []
+    inboxes = []
+    for i in range(1, n + 1):
+        member = GroupMember("n%d" % i, "g", loop, network, directory)
+        inbox = []
+        member.message_listeners.append(
+            lambda s, m, inbox=inbox: inbox.append((s, m))
+        )
+        members.append(member)
+        inboxes.append(inbox)
+        member.join()
+        loop.run_for(0.5)
+    loop.run_for(1.0)
+    return loop, members, inboxes
+
+
+class TestFifo:
+    def test_all_members_deliver_including_sender(self):
+        loop, members, inboxes = build_group(3)
+        members[1].multicast({"x": 1})
+        loop.run_for(1.0)
+        for inbox in inboxes:
+            assert ("gcs/g/n2", {"x": 1}) in inbox
+
+    def test_sender_self_delivery_immediate(self):
+        loop, members, inboxes = build_group(2)
+        members[0].multicast("m")
+        assert inboxes[0][-1] == ("gcs/g/n1", "m")
+
+    def test_per_sender_order_preserved_under_loss(self):
+        loop, members, inboxes = build_group(3, seed=11, loss=0.25)
+        for i in range(20):
+            members[0].multicast(i)
+        loop.run_for(20.0)
+        for inbox in inboxes:
+            from_n1 = [m for s, m in inbox if s == "gcs/g/n1"]
+            assert from_n1 == list(range(20))
+
+    def test_interleaved_senders_keep_per_sender_order(self):
+        loop, members, inboxes = build_group(3, seed=3, loss=0.1)
+        for i in range(10):
+            members[0].multicast(("a", i))
+            members[1].multicast(("b", i))
+        loop.run_for(20.0)
+        for inbox in inboxes:
+            a_messages = [m[1] for s, m in inbox if s == "gcs/g/n1"]
+            b_messages = [m[1] for s, m in inbox if s == "gcs/g/n2"]
+            assert a_messages == list(range(10))
+            assert b_messages == list(range(10))
+
+    def test_joiner_receives_subsequent_messages(self):
+        loop, members, inboxes = build_group(2)
+        members[0].multicast("before-join")
+        loop.run_for(1.0)
+        directory = members[0]._directory
+        network = members[0]._network
+        late = GroupMember("n9", "g", loop, network, directory)
+        late_inbox = []
+        late.message_listeners.append(lambda s, m: late_inbox.append(m))
+        late.join()
+        loop.run_for(1.5)
+        members[0].multicast("after-join")
+        loop.run_for(1.5)
+        assert "after-join" in late_inbox
+        assert "before-join" not in late_inbox
+
+
+class TestTotalOrder:
+    def test_all_members_agree_on_order(self):
+        loop, members, inboxes = build_group(3, seed=7)
+        for i in range(5):
+            members[1].multicast(("b", i), total_order=True)
+            members[2].multicast(("c", i), total_order=True)
+        loop.run_for(5.0)
+        sequences = [[m for _, m in inbox] for inbox in inboxes]
+        assert sequences[0] == sequences[1] == sequences[2]
+        assert len(sequences[0]) == 10
+
+    def test_total_order_holds_under_loss(self):
+        loop, members, inboxes = build_group(4, seed=23, loss=0.2)
+        for i in range(8):
+            members[i % 4].multicast(i, total_order=True)
+        loop.run_for(30.0)
+        sequences = [[m for _, m in inbox] for inbox in inboxes]
+        assert all(seq == sequences[0] for seq in sequences)
+        assert sorted(sequences[0]) == list(range(8))
+
+    def test_order_survives_coordinator_failover_for_new_messages(self):
+        loop, members, inboxes = build_group(3, seed=2)
+        members[1].multicast("pre", total_order=True)
+        loop.run_for(2.0)
+        members[0].crash()  # the sequencer
+        loop.run_for(3.0)
+        members[1].multicast("post-1", total_order=True)
+        members[2].multicast("post-2", total_order=True)
+        loop.run_for(3.0)
+        survivors = [inboxes[1], inboxes[2]]
+        tails = [[m for _, m in inbox if str(m).startswith("post")] for inbox in survivors]
+        assert tails[0] == tails[1]
+        assert set(tails[0]) == {"post-1", "post-2"}
+
+    def test_origin_attribution_correct(self):
+        loop, members, inboxes = build_group(2)
+        members[1].multicast("from-2", total_order=True)
+        loop.run_for(2.0)
+        assert ("gcs/g/n2", "from-2") in inboxes[0]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    sender_script=st.lists(st.integers(0, 2), min_size=1, max_size=12),
+)
+def test_property_total_order_agreement(seed, sender_script):
+    """Whatever the interleaving of senders, all members deliver the same
+    sequence, containing every message exactly once."""
+    loop, members, inboxes = build_group(3, seed=seed, loss=0.05)
+    for i, sender in enumerate(sender_script):
+        members[sender].multicast(i, total_order=True)
+    loop.run_for(30.0)
+    sequences = [[m for _, m in inbox] for inbox in inboxes]
+    assert sequences[0] == sequences[1] == sequences[2]
+    assert sorted(sequences[0]) == sorted(range(len(sender_script)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), count=st.integers(1, 15))
+def test_property_fifo_no_loss_no_reorder(seed, count):
+    loop, members, inboxes = build_group(2, seed=seed, loss=0.15)
+    for i in range(count):
+        members[0].multicast(i)
+    loop.run_for(30.0)
+    received = [m for s, m in inboxes[1] if s == "gcs/g/n1"]
+    assert received == list(range(count))

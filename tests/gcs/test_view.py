@@ -1,0 +1,64 @@
+"""View and view-change value semantics."""
+
+import pytest
+
+from repro.gcs.view import View, ViewChange
+
+
+def test_members_sorted_and_deduplicated_order():
+    view = View(1, ("c", "a", "b"))
+    assert view.members == ("a", "b", "c")
+
+
+def test_coordinator_is_lowest_member():
+    assert View(1, ("n2", "n1", "n3")).coordinator == "n1"
+
+
+def test_empty_view_has_no_coordinator():
+    with pytest.raises(ValueError):
+        View(1, ()).coordinator
+
+
+def test_contains_and_size():
+    view = View(1, ("a", "b"))
+    assert view.contains("a")
+    assert not view.contains("z")
+    assert view.size == 2
+
+
+def test_without_increments_view_id():
+    view = View(3, ("a", "b", "c"))
+    shrunk = view.without("b")
+    assert shrunk.view_id == 4
+    assert shrunk.members == ("a", "c")
+
+
+def test_with_member_adds_and_increments():
+    view = View(3, ("a",))
+    grown = view.with_member("b")
+    assert grown.view_id == 4
+    assert grown.members == ("a", "b")
+
+
+def test_with_existing_member_is_identity():
+    view = View(3, ("a", "b"))
+    assert view.with_member("a") is view
+
+
+def test_dict_roundtrip():
+    view = View(7, ("x", "y"))
+    assert View.from_dict(view.to_dict()) == view
+
+
+def test_view_change_between():
+    old = View(1, ("a", "b"))
+    new = View(2, ("b", "c"))
+    change = ViewChange.between(old, new)
+    assert change.joined == {"c"}
+    assert change.left == {"a"}
+
+
+def test_view_change_from_nothing():
+    change = ViewChange.between(None, View(1, ("a",)))
+    assert change.joined == {"a"}
+    assert change.left == frozenset()

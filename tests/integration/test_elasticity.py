@@ -1,0 +1,82 @@
+"""The full elasticity loop: consolidate when idle, expand under pressure."""
+
+import pytest
+
+from repro.cluster.node import NodeState
+from repro.core import DependableEnvironment
+from repro.sla import ServiceLevelAgreement
+from repro.workloads.burner import CpuBurner, burner_bundle, drive_burner
+
+
+def build_env(seed=47):
+    env = DependableEnvironment.build(
+        node_count=3,
+        seed=seed,
+        enable_consolidation=True,
+        enable_rebalance=False,
+    )
+    return env
+
+
+def admit_with_burner(env, name, cpu_share=0.3):
+    burner = CpuBurner(cpu_per_second=0.0)
+    completion = env.admit_customer(
+        ServiceLevelAgreement(name, cpu_share=cpu_share),
+        bundles=[burner_bundle(burner)],
+    )
+    env.cluster.run_until_settled([completion])
+    env.run_for(1.0)
+    drive_burner(env.loop, burner, interval=1.0)
+    return burner
+
+
+def hibernated(env):
+    return [
+        n.node_id for n in env.cluster.nodes() if n.state == NodeState.HIBERNATED
+    ]
+
+
+def test_consolidate_then_expand_under_pressure():
+    env = build_env()
+    burners = [
+        admit_with_burner(env, "c%d" % i, cpu_share=0.3) for i in range(3)
+    ]
+    # Phase 1: everyone idle -> consolidation packs and hibernates.
+    env.run_for(40.0)
+    assert len(hibernated(env)) >= 1
+    packed = [n for n in env.cluster.alive_nodes() if n.instance_names()]
+    assert len(packed) == 1
+
+    # Phase 2: load ramps up -> the expansion policy wakes capacity.
+    for burner in burners:
+        burner.cpu_per_second = 0.28  # ~0.84 CPU on the packed node
+    env.run_for(40.0)
+    on_nodes = [
+        n.node_id for n in env.cluster.nodes() if n.state == NodeState.ON
+    ]
+    assert len(on_nodes) >= 2, "expansion should have woken capacity: %s" % {
+        n.node_id: n.state.value for n in env.cluster.nodes()
+    }
+    # The woken node rejoined the platform group.
+    for node_id in on_nodes:
+        assert env.migration[node_id].running
+
+
+def test_wake_node_direct():
+    env = build_env(seed=53)
+    hibernation = env.cluster.node("n3").hibernate()
+    env.cluster.run_until_settled([hibernation])
+    env.migration["n3"].stop()
+    wake = env.wake_node("n3")
+    env.cluster.run_until_settled([wake], timeout=30)
+    env.run_for(3.0)
+    assert env.cluster.node("n3").state == NodeState.ON
+    assert env.migration["n3"].running
+    # It shows up in peers' inventories again.
+    assert "n3" in env.migration["n1"].inventory.node_ids()
+
+
+def test_wake_non_hibernated_fails_cleanly():
+    env = build_env(seed=59)
+    completion = env.wake_node("n1")
+    assert completion.done and not completion.ok

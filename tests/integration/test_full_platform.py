@@ -1,0 +1,158 @@
+"""Whole-platform integration scenarios spanning every subsystem."""
+
+import pytest
+
+from repro.core import DependableEnvironment
+from repro.ipvs.addressing import IpEndpoint
+from repro.osgi.definition import BundleActivator, simple_bundle
+from repro.sla.agreement import ServiceLevelAgreement
+
+
+class CounterService(BundleActivator):
+    """A stateful service persisting a counter to its SAN data area."""
+
+    def start(self, context):
+        self.context = context
+        self.data = context.get_data_store()
+
+    def stop(self, context):
+        self.context = None
+
+    def increment(self):
+        self.data["count"] = self.data.get("count", 0) + 1
+        return self.data["count"]
+
+
+def admit(env, name, cpu_share=0.2, bundles=None, node_id=None):
+    completion = env.admit_customer(
+        ServiceLevelAgreement(name, cpu_share=cpu_share),
+        bundles=bundles,
+        node_id=node_id,
+    )
+    env.cluster.run_until_settled([completion])
+    env.run_for(1.5)
+    return completion.result()
+
+
+def test_lifecycle_of_a_customer_through_failures_and_migrations():
+    env = DependableEnvironment.build(node_count=4, seed=21)
+    service = CounterService()
+    admit(
+        env,
+        "acme",
+        bundles=[simple_bundle("counter", activator_factory=lambda: service)],
+        node_id="n1",
+    )
+    # Work on n1.
+    live = env.instance_of("acme").get_bundle_by_name("counter")._activator
+    assert live.increment() == 1
+
+    # Planned migration to n2; state follows.
+    migration = env.migrate_customer("acme", "n2")
+    env.cluster.run_until_settled([migration], timeout=60)
+    live = env.instance_of("acme").get_bundle_by_name("counter")._activator
+    assert live.increment() == 2
+
+    # n2 crashes; decentralized redeployment; state still follows.
+    env.fail_node("n2")
+    env.run_for(8.0)
+    host = env.locate("acme")
+    assert host in ("n1", "n3", "n4")
+    live = env.instance_of("acme").get_bundle_by_name("counter")._activator
+    assert live.increment() == 3
+
+
+def test_graceful_degradation_cascading_failures():
+    env = DependableEnvironment.build(node_count=4, seed=5)
+    for i in range(4):
+        admit(env, "c%d" % i, cpu_share=0.2)
+    for victim in ("n1", "n2", "n3"):
+        if env.cluster.node(victim).alive:
+            env.fail_node(victim)
+            env.run_for(8.0)
+    survivor = env.cluster.alive_nodes()
+    assert len(survivor) == 1
+    # every customer still runs, all packed on the survivor
+    assert set(survivor[0].instance_names()) == {"c0", "c1", "c2", "c3"}
+    # all reports show bounded downtime per failure
+    for report in env.compliance():
+        assert report.downtime < 15.0
+
+
+def test_service_availability_through_failover_with_retrying_clients():
+    from repro.migration.statefulness import RetryingClient
+
+    env = DependableEnvironment.build(node_count=3, seed=13)
+    admit(env, "shop", node_id="n1")
+    vip = IpEndpoint("10.0.1.1", 443)
+    env.expose_service("shop", vip, service_time=0.005)
+
+    def send(request):
+        routed = env.director.submit(vip)
+        env.run_for(0.05)
+        return routed.ok
+
+    client = RetryingClient(send)
+    for i in range(5):
+        client.issue(i)
+    assert client.pending == []
+
+    env.fail_node("n1")
+    during_failover = client.issue("during")
+    env.run_for(8.0)  # redeployment completes, director re-pointed
+    client.retry_pending()
+    assert during_failover.completed
+    assert during_failover.attempts >= 2
+
+
+def test_sla_enforcement_protects_neighbours():
+    env = DependableEnvironment.build(node_count=2, seed=33, sla_action="migrate")
+    hog = admit(env, "hog", cpu_share=0.2, node_id="n1")
+    admit(env, "quiet", cpu_share=0.2, node_id="n1")
+
+    from tests.conftest import RecordingActivator
+
+    activator = RecordingActivator()
+    hog.install(simple_bundle("burner", activator_factory=lambda: activator)).start()
+
+    def burn():
+        if activator.context is not None:
+            try:
+                activator.context.account(cpu=0.7)
+            except Exception:
+                return
+        env.loop.call_after(1.0, burn)
+
+    env.loop.call_after(1.0, burn)
+    env.run_for(15.0)
+    # the autonomic module moved the hog off n1, leaving quiet alone
+    assert env.locate("quiet") == "n1"
+    assert env.locate("hog") == "n2"
+    hog_report = env.sla_tracker.report("hog", env.loop.clock.now)
+    assert hog_report.cpu_violations > 0  # tracker observed the overuse
+    quiet_report = env.sla_tracker.report("quiet", env.loop.clock.now)
+    assert quiet_report.cpu_violations == 0
+
+
+def test_unplaceable_customer_reported_not_silently_lost():
+    env = DependableEnvironment.build(node_count=2, seed=3)
+    admit(env, "big-a", cpu_share=0.9, node_id="n1")
+    admit(env, "big-b", cpu_share=0.9, node_id="n2")
+    env.fail_node("n2")
+    env.run_for(8.0)
+    # no survivor has capacity for big-b (0.9 + 0.9 > 1.0)
+    assert env.locate("big-b") is None
+    migration = env.cluster.node("n1").modules["migration"]
+    assert "big-b" in migration.unplaced
+
+
+def test_two_environments_are_deterministic():
+    def run():
+        env = DependableEnvironment.build(node_count=3, seed=77)
+        admit(env, "acme")
+        env.fail_node(env.locate("acme"))
+        env.run_for(10.0)
+        report = env.compliance()[0]
+        return (env.locate("acme"), round(report.downtime, 9))
+
+    assert run() == run()

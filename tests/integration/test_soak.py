@@ -1,0 +1,71 @@
+"""Soak test: sustained random failures against the platform invariants.
+
+A bigger cluster, many customers, a seeded adversary failing and rebooting
+nodes for a long virtual stretch. Invariants checked at the end:
+
+* every active customer runs on exactly one alive node;
+* per-customer downtime is bounded (no customer silently lost);
+* no unresolved duplicate hosting.
+"""
+
+import pytest
+
+from repro.core import DependableEnvironment
+from repro.migration.module import MigrationModule
+from repro.sim.rng import RngStreams
+from repro.sla import ServiceLevelAgreement
+
+NODES = 6
+CUSTOMERS = 10
+ROUNDS = 6
+
+
+@pytest.mark.parametrize("seed", [1, 2026])
+def test_soak_random_failures(seed):
+    env = DependableEnvironment.build(
+        node_count=NODES, seed=seed, enable_rebalance=False
+    )
+    rng = RngStreams(seed).stream("adversary")
+    pending = [
+        env.admit_customer(ServiceLevelAgreement("c%02d" % i, cpu_share=0.15))
+        for i in range(CUSTOMERS)
+    ]
+    env.cluster.run_until_settled(pending)
+    env.run_for(3.0)
+
+    for _ in range(ROUNDS):
+        alive = env.cluster.alive_nodes()
+        if len(alive) > 2 and rng.random() < 0.8:
+            victim = alive[rng.randrange(len(alive))]
+            env.fail_node(victim.node_id)
+        env.run_for(8.0 + rng.random() * 4.0)
+        # Occasionally repair a failed node through the facade API.
+        failed = [
+            n
+            for n in env.cluster.nodes()
+            if n.state.value == "FAILED"
+        ]
+        if failed and rng.random() < 0.6:
+            node = failed[rng.randrange(len(failed))]
+            repair = env.repair_node(node.node_id)
+            env.cluster.run_until_settled([repair])
+            env.run_for(3.0)
+
+    env.run_for(25.0)  # let recovery sweeps finish
+
+    hosting = {}
+    for node in env.cluster.alive_nodes():
+        for name in node.instance_names():
+            hosting.setdefault(name, []).append(node.node_id)
+
+    # exactly-once hosting
+    duplicates = {k: v for k, v in hosting.items() if len(v) > 1}
+    assert not duplicates, "duplicate hosting: %s" % duplicates
+    # nobody lost
+    missing = [
+        "c%02d" % i for i in range(CUSTOMERS) if "c%02d" % i not in hosting
+    ]
+    assert not missing, "customers lost: %s" % missing
+    # availability stayed reasonable for everyone
+    for report in env.compliance():
+        assert report.availability > 0.5, report

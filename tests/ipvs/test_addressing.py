@@ -1,0 +1,93 @@
+"""Address registry and the Figure 5 unique-IP takeover."""
+
+import pytest
+
+from repro.ipvs.addressing import AddressRegistry, IpEndpoint, validate_ip
+
+
+class TestValidation:
+    def test_valid_addresses(self):
+        for ip in ("0.0.0.0", "192.168.1.1", "255.255.255.255"):
+            assert validate_ip(ip) == ip
+
+    @pytest.mark.parametrize("bad", ["256.0.0.1", "1.2.3", "a.b.c.d", "", "1.2.3.4.5"])
+    def test_invalid_addresses(self, bad):
+        with pytest.raises(ValueError):
+            validate_ip(bad)
+
+    def test_endpoint_validation(self):
+        endpoint = IpEndpoint("10.0.0.1", 8080)
+        assert str(endpoint) == "10.0.0.1:8080"
+        with pytest.raises(ValueError):
+            IpEndpoint("10.0.0.1", 0)
+        with pytest.raises(ValueError):
+            IpEndpoint("999.0.0.1", 80)
+
+
+class TestRegistry:
+    def test_bind_and_owner(self, loop):
+        registry = AddressRegistry(loop)
+        registry.bind("10.0.0.1", "n1")
+        assert registry.owner("10.0.0.1") == "n1"
+
+    def test_rebind_same_owner_idempotent(self, loop):
+        registry = AddressRegistry(loop)
+        registry.bind("10.0.0.1", "n1")
+        registry.bind("10.0.0.1", "n1")
+
+    def test_conflicting_bind_rejected(self, loop):
+        registry = AddressRegistry(loop)
+        registry.bind("10.0.0.1", "n1")
+        with pytest.raises(ValueError):
+            registry.bind("10.0.0.1", "n2")
+
+    def test_release_requires_ownership(self, loop):
+        registry = AddressRegistry(loop)
+        registry.bind("10.0.0.1", "n1")
+        with pytest.raises(ValueError):
+            registry.release("10.0.0.1", "n2")
+        registry.release("10.0.0.1", "n1")
+        assert registry.owner("10.0.0.1") is None
+
+    def test_addresses_of_node(self, loop):
+        registry = AddressRegistry(loop)
+        registry.bind("10.0.0.2", "n1")
+        registry.bind("10.0.0.1", "n1")
+        registry.bind("10.0.0.3", "n2")
+        assert registry.addresses_of("n1") == ["10.0.0.1", "10.0.0.2"]
+
+
+class TestMove:
+    def test_move_has_a_dead_window(self, loop):
+        registry = AddressRegistry(loop, takeover_seconds=0.5)
+        registry.bind("10.0.0.1", "n1")
+        completion = registry.move("10.0.0.1", "n1", "n2")
+        assert registry.owner("10.0.0.1") is None  # the Figure 5 window
+        loop.run_for(0.4)
+        assert registry.owner("10.0.0.1") is None
+        loop.run_for(0.2)
+        assert registry.owner("10.0.0.1") == "n2"
+        assert completion.ok
+
+    def test_move_counts(self, loop):
+        registry = AddressRegistry(loop, takeover_seconds=0.1)
+        registry.bind("10.0.0.1", "n1")
+        registry.move("10.0.0.1", "n1", "n2")
+        loop.run_for(1.0)
+        assert registry.moves == 1
+
+    def test_move_requires_ownership(self, loop):
+        registry = AddressRegistry(loop)
+        registry.bind("10.0.0.1", "n1")
+        with pytest.raises(ValueError):
+            registry.move("10.0.0.1", "n2", "n3")
+
+
+def test_drop_node_releases_all(loop):
+    registry = AddressRegistry(loop)
+    registry.bind("10.0.0.1", "n1")
+    registry.bind("10.0.0.2", "n1")
+    registry.bind("10.0.0.3", "n2")
+    lost = registry.drop_node("n1")
+    assert lost == ["10.0.0.1", "10.0.0.2"]
+    assert registry.owner("10.0.0.3") == "n2"

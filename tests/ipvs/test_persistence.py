@@ -1,0 +1,86 @@
+"""ipvs persistence (sticky sessions) — the LVS ``-p`` analogue."""
+
+import pytest
+
+from repro.ipvs.addressing import IpEndpoint
+from repro.ipvs.server import DirectorCluster
+
+VIP = IpEndpoint("10.9.9.9", 443)
+
+
+@pytest.fixture
+def directors(loop):
+    cluster = DirectorCluster(loop, replicas=1)
+    cluster.add_service(VIP, persistence_seconds=10.0)
+    cluster.add_real_server(VIP, "n1", service_time=0.001)
+    cluster.add_real_server(VIP, "n2", service_time=0.001)
+    return cluster
+
+
+def drain(loop):
+    loop.run_for(1.0)
+
+
+def test_same_client_sticks_to_one_server(loop, directors):
+    served = set()
+    for _ in range(10):
+        request = directors.submit(VIP, client="alice")
+        drain(loop)
+        served.add(request.served_by)
+    assert len(served) == 1
+
+
+def test_different_clients_are_balanced(loop, directors):
+    servers = []
+    for i in range(10):
+        request = directors.submit(VIP, client="client-%d" % i)
+        drain(loop)
+        servers.append(request.served_by)
+    assert set(servers) == {"n1", "n2"}
+
+
+def test_affinity_expires_after_window(loop, directors):
+    first = directors.submit(VIP, client="alice")
+    drain(loop)
+    # Exhaust the window; next request may re-balance (rr moves on).
+    loop.run_for(11.0)
+    second = directors.submit(VIP, client="alice")
+    drain(loop)
+    assert second.served_by != first.served_by  # rr advanced meanwhile
+
+
+def test_anonymous_clients_never_pinned(loop, directors):
+    served = set()
+    for _ in range(4):
+        request = directors.submit(VIP)
+        drain(loop)
+        served.add(request.served_by)
+    assert served == {"n1", "n2"}
+
+
+def test_pinned_server_death_falls_back_and_repins(loop, directors):
+    first = directors.submit(VIP, client="alice")
+    drain(loop)
+    pinned = first.served_by
+    directors.mark_node(pinned, False)
+    second = directors.submit(VIP, client="alice")
+    drain(loop)
+    other = "n2" if pinned == "n1" else "n1"
+    assert second.served_by == other
+    # And the new affinity holds.
+    third = directors.submit(VIP, client="alice")
+    drain(loop)
+    assert third.served_by == other
+
+
+def test_non_persistent_service_ignores_client(loop):
+    cluster = DirectorCluster(loop, replicas=1)
+    cluster.add_service(VIP)  # no persistence
+    cluster.add_real_server(VIP, "n1", service_time=0.001)
+    cluster.add_real_server(VIP, "n2", service_time=0.001)
+    served = []
+    for _ in range(4):
+        request = cluster.submit(VIP, client="alice")
+        loop.run_for(1.0)
+        served.append(request.served_by)
+    assert set(served) == {"n1", "n2"}  # round robin, no pinning

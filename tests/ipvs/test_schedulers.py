@@ -1,0 +1,100 @@
+"""ipvs scheduling disciplines."""
+
+import pytest
+
+from repro.ipvs.schedulers import (
+    LeastConnectionScheduler,
+    RoundRobinScheduler,
+    WeightedRoundRobinScheduler,
+)
+from repro.ipvs.server import RealServer
+
+
+def servers(*specs):
+    out = []
+    for node, weight in specs:
+        server = RealServer(node, 80, weight=weight)
+        out.append(server)
+    return out
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        pool = servers(("a", 1), ("b", 1), ("c", 1))
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.pick(pool).node_id for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_skips_unavailable(self):
+        pool = servers(("a", 1), ("b", 1))
+        pool[0].alive = False
+        scheduler = RoundRobinScheduler()
+        assert scheduler.pick(pool).node_id == "b"
+
+    def test_none_when_empty(self):
+        assert RoundRobinScheduler().pick([]) is None
+        pool = servers(("a", 1))
+        pool[0].alive = False
+        assert RoundRobinScheduler().pick(pool) is None
+
+
+class TestWeightedRoundRobin:
+    def test_weights_respected_proportionally(self):
+        pool = servers(("heavy", 3), ("light", 1))
+        scheduler = WeightedRoundRobinScheduler()
+        picks = [scheduler.pick(pool).node_id for _ in range(40)]
+        assert picks.count("heavy") == 30
+        assert picks.count("light") == 10
+
+    def test_interleaving_not_bursty(self):
+        pool = servers(("a", 2), ("b", 1))
+        scheduler = WeightedRoundRobinScheduler()
+        picks = [scheduler.pick(pool).node_id for _ in range(6)]
+        # LVS wrr interleaves: never three consecutive picks of 'a' in a
+        # 2:1 schedule of length 3.
+        assert picks.count("a") == 4
+        for i in range(len(picks) - 2):
+            assert picks[i : i + 3] != ["a", "a", "a"]
+
+    def test_zero_weight_server_never_picked(self):
+        pool = servers(("a", 0), ("b", 1))
+        scheduler = WeightedRoundRobinScheduler()
+        picks = {scheduler.pick(pool).node_id for _ in range(10)}
+        assert picks == {"b"}
+
+    def test_all_zero_weights_returns_none(self):
+        pool = servers(("a", 0), ("b", 0))
+        assert WeightedRoundRobinScheduler().pick(pool) is None
+
+
+class TestLeastConnection:
+    def test_picks_least_loaded(self):
+        pool = servers(("a", 1), ("b", 1))
+        pool[0].active_connections = 5
+        pool[1].active_connections = 2
+        assert LeastConnectionScheduler().pick(pool).node_id == "b"
+
+    def test_tie_broken_by_node_id(self):
+        pool = servers(("b", 1), ("a", 1))
+        assert LeastConnectionScheduler().pick(pool).node_id == "a"
+
+    def test_skips_dead(self):
+        pool = servers(("a", 1), ("b", 1))
+        pool[0].alive = False
+        pool[0].active_connections = 0
+        pool[1].active_connections = 10  # loaded but under the queue limit
+        assert LeastConnectionScheduler().pick(pool).node_id == "b"
+
+
+def test_real_server_queue_limit_gates_availability():
+    server = RealServer("a", 80, queue_limit=2)
+    assert server.available
+    server.active_connections = 2
+    assert not server.available
+
+
+def test_real_server_validation():
+    with pytest.raises(ValueError):
+        RealServer("a", 80, weight=-1)
+    with pytest.raises(ValueError):
+        RealServer("a", 80, service_time=0)

@@ -1,0 +1,147 @@
+"""Permission implication semantics, with property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isolation.permissions import (
+    FilePermission,
+    PackagePermission,
+    Permission,
+    ServicePermission,
+    SocketPermission,
+)
+
+
+class TestFilePermission:
+    def test_exact_match(self):
+        grant = FilePermission("/data/file.txt", "read")
+        assert grant.implies(FilePermission("/data/file.txt", "read"))
+
+    def test_action_superset_required(self):
+        grant = FilePermission("/f", "read")
+        assert not grant.implies(FilePermission("/f", "read,write"))
+        both = FilePermission("/f", "read,write")
+        assert both.implies(FilePermission("/f", "read"))
+
+    def test_star_covers_direct_children_only(self):
+        grant = FilePermission("/data/*", "read")
+        assert grant.implies(FilePermission("/data/a.txt", "read"))
+        assert not grant.implies(FilePermission("/data/sub/a.txt", "read"))
+        assert not grant.implies(FilePermission("/data", "read"))
+
+    def test_dash_covers_whole_subtree(self):
+        grant = FilePermission("/data/-", "write")
+        assert grant.implies(FilePermission("/data/sub/deep/x", "write"))
+        assert grant.implies(FilePermission("/data", "write"))
+        assert not grant.implies(FilePermission("/other/x", "write"))
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            FilePermission("/f", "fly")
+
+    def test_actions_parse_from_list_or_string(self):
+        assert FilePermission("/f", ["read", "write"]).actions == frozenset(
+            {"read", "write"}
+        )
+        assert FilePermission("/f", "Read, WRITE").actions == frozenset(
+            {"read", "write"}
+        )
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError):
+            FilePermission("", "read")
+
+
+class TestSocketPermission:
+    def test_exact_host_port(self):
+        grant = SocketPermission("10.0.0.1:8080", "connect")
+        assert grant.implies(SocketPermission("10.0.0.1:8080", "connect"))
+        assert not grant.implies(SocketPermission("10.0.0.1:8081", "connect"))
+
+    def test_port_range(self):
+        grant = SocketPermission("host:6000-7000", "bind")
+        assert grant.implies(SocketPermission("host:6500", "bind"))
+        assert not grant.implies(SocketPermission("host:7001", "bind"))
+
+    def test_open_ended_ranges(self):
+        low = SocketPermission("h:-1024", "connect")
+        assert low.implies(SocketPermission("h:80", "connect"))
+        assert not low.implies(SocketPermission("h:8080", "connect"))
+        high = SocketPermission("h:1024-", "connect")
+        assert high.implies(SocketPermission("h:60000", "connect"))
+
+    def test_wildcard_host(self):
+        grant = SocketPermission("*:80", "connect")
+        assert grant.implies(SocketPermission("anything:80", "connect"))
+
+    def test_suffix_wildcard_host(self):
+        grant = SocketPermission("*.example.com:443", "connect")
+        assert grant.implies(SocketPermission("api.example.com:443", "connect"))
+        assert not grant.implies(SocketPermission("example.org:443", "connect"))
+
+    def test_missing_port_means_all_ports(self):
+        grant = SocketPermission("h", "bind")
+        assert grant.implies(SocketPermission("h:1", "bind"))
+        assert grant.implies(SocketPermission("h:65535", "bind"))
+
+    def test_invalid_port_range_rejected(self):
+        with pytest.raises(ValueError):
+            SocketPermission("h:70000", "bind")
+        with pytest.raises(ValueError):
+            SocketPermission("h:500-100", "bind")
+
+
+class TestNamePermissions:
+    def test_service_wildcards(self):
+        grant = ServicePermission("log.*", "get")
+        assert grant.implies(ServicePermission("log.LogService", "get"))
+        assert grant.implies(ServicePermission("log", "get"))
+        assert not grant.implies(ServicePermission("http.HttpService", "get"))
+
+    def test_star_matches_everything(self):
+        grant = ServicePermission("*", "get,register")
+        assert grant.implies(ServicePermission("anything.at.all", "get"))
+
+    def test_package_import_export_actions(self):
+        grant = PackagePermission("com.acme*", "import")
+        assert grant.implies(PackagePermission("com.acme.util", "import"))
+        assert not grant.implies(PackagePermission("com.acme.util", "export"))
+
+    def test_cross_type_never_implies(self):
+        assert not ServicePermission("x", "get").implies(
+            PackagePermission("x", "import")
+        )
+
+
+@given(
+    st.sampled_from(["/a", "/a/b", "/a/b/c", "/other"]),
+    st.sampled_from(["read", "write", "read,write"]),
+)
+def test_implication_is_reflexive(path, actions):
+    perm = FilePermission(path, actions)
+    assert perm.implies(perm)
+
+
+@given(
+    st.sampled_from(["/a/-", "/a/*", "/a/b"]),
+    st.sampled_from(["/a/-", "/a/*", "/a/b"]),
+    st.sampled_from(["/a/b", "/a/b/c", "/a"]),
+)
+def test_implication_chains_are_consistent(g1, g2, request_path):
+    """If g1 covers g2's literal target and g2 covers the request, and g2 is
+    a literal (non-pattern) grant, then g1 must cover the request too."""
+    if g2.endswith(("-", "*")):
+        return
+    a = FilePermission(g1, "read")
+    b = FilePermission(g2, "read")
+    c = FilePermission(request_path, "read")
+    if a.implies(b) and b.implies(c):
+        assert a.implies(c)
+
+
+def test_equality_and_hash():
+    a = FilePermission("/x", "read,write")
+    b = FilePermission("/x", "write,read")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != FilePermission("/y", "read,write")

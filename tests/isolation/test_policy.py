@@ -1,0 +1,79 @@
+"""Security policy grants and the deny-by-default reference monitor."""
+
+import pytest
+
+from repro.isolation.permissions import FilePermission, ServicePermission
+from repro.isolation.policy import Grant, SecurityManager, SecurityPolicy
+from repro.osgi.errors import SecurityViolation
+
+
+def test_deny_by_default():
+    manager = SecurityManager()
+    with pytest.raises(SecurityViolation):
+        manager.check("acme", FilePermission("/data/x", "read"))
+
+
+def test_grant_allows():
+    policy = SecurityPolicy().grant("acme", FilePermission("/data/-", "read"))
+    manager = SecurityManager(policy)
+    manager.check("acme", FilePermission("/data/x", "read"))
+
+
+def test_grant_is_per_principal():
+    policy = SecurityPolicy().grant("acme", FilePermission("/data/-", "read"))
+    manager = SecurityManager(policy)
+    with pytest.raises(SecurityViolation):
+        manager.check("globex", FilePermission("/data/x", "read"))
+
+
+def test_wildcard_principal_applies_to_all():
+    policy = SecurityPolicy().grant("*", ServicePermission("log.*", "get"))
+    manager = SecurityManager(policy)
+    manager.check("anyone", ServicePermission("log.LogService", "get"))
+
+
+def test_grants_accumulate_for_same_principal():
+    policy = SecurityPolicy()
+    policy.grant("acme", FilePermission("/a", "read"))
+    policy.grant("acme", FilePermission("/b", "read"))
+    assert policy.implies("acme", FilePermission("/a", "read"))
+    assert policy.implies("acme", FilePermission("/b", "read"))
+    assert len(policy.grants_for("acme")) == 2
+
+
+def test_revoke_removes_principal_grants():
+    policy = SecurityPolicy().grant("acme", FilePermission("/a", "read"))
+    policy.revoke("acme")
+    assert not policy.implies("acme", FilePermission("/a", "read"))
+
+
+def test_denials_audited():
+    manager = SecurityManager()
+    try:
+        manager.check("acme", FilePermission("/x", "write"))
+    except SecurityViolation:
+        pass
+    assert len(manager.denials) == 1
+    principal, permission = manager.denials[0]
+    assert principal == "acme"
+    assert permission == FilePermission("/x", "write")
+
+
+def test_allowed_is_non_raising_and_not_audited():
+    manager = SecurityManager()
+    assert manager.allowed("acme", FilePermission("/x", "read")) is False
+    assert manager.denials == []
+
+
+def test_checks_counted():
+    policy = SecurityPolicy().grant("*", FilePermission("/x", "read"))
+    manager = SecurityManager(policy)
+    manager.check("a", FilePermission("/x", "read"))
+    manager.allowed("b", FilePermission("/x", "read"))
+    assert manager.checks == 2
+
+
+def test_grant_constructed_directly():
+    grant = Grant("acme", [FilePermission("/x", "read")])
+    assert grant.covers("acme", FilePermission("/x", "read"))
+    assert not grant.covers("acme", FilePermission("/y", "read"))

@@ -1,0 +1,58 @@
+"""Resource quota validation and checks."""
+
+import pytest
+
+from repro.isolation.quotas import QuotaExceeded, ResourceQuota
+
+
+def test_defaults_are_sane():
+    quota = ResourceQuota()
+    assert quota.cpu_share == 1.0
+    assert quota.memory_bytes > 0
+
+
+@pytest.mark.parametrize("share", [0.0, -0.5, 1.5])
+def test_invalid_cpu_share_rejected(share):
+    with pytest.raises(ValueError):
+        ResourceQuota(cpu_share=share)
+
+
+def test_non_positive_memory_rejected():
+    with pytest.raises(ValueError):
+        ResourceQuota(memory_bytes=0)
+
+
+def test_check_memory_within_limit_passes():
+    ResourceQuota(memory_bytes=100).check_memory(100)
+
+
+def test_check_memory_over_limit_raises_with_details():
+    quota = ResourceQuota(memory_bytes=100)
+    with pytest.raises(QuotaExceeded) as excinfo:
+        quota.check_memory(150)
+    assert excinfo.value.resource == "memory"
+    assert excinfo.value.used == 150
+    assert excinfo.value.limit == 100
+
+
+def test_check_disk():
+    quota = ResourceQuota(disk_bytes=10)
+    quota.check_disk(10)
+    with pytest.raises(QuotaExceeded):
+        quota.check_disk(11)
+
+
+def test_headroom_computation():
+    quota = ResourceQuota(cpu_share=0.5, memory_bytes=1000, disk_bytes=2000)
+    headroom = quota.headroom(
+        {"cpu_share": 0.2, "memory_bytes": 400, "disk_bytes": 2500}
+    )
+    assert headroom["cpu"] == pytest.approx(0.3)
+    assert headroom["memory"] == 600
+    assert headroom["disk"] == -500
+
+
+def test_quota_is_immutable():
+    quota = ResourceQuota()
+    with pytest.raises(Exception):
+        quota.cpu_share = 0.5

@@ -1,0 +1,54 @@
+"""The 2008 fallback sampler: bounded noise, no memory visibility."""
+
+import random
+
+import pytest
+
+from repro.monitoring.sampler import ThreadSampler
+
+
+def test_estimate_within_relative_error_band():
+    sampler = ThreadSampler(random.Random(1), relative_error=0.2, tick_seconds=0.001)
+    true_cpu = 10.0
+    for _ in range(100):
+        estimate = sampler.sample_cpu(true_cpu)
+        assert 7.9 <= estimate <= 12.1  # 20% + tick rounding
+
+
+def test_zero_error_reduces_to_quantization():
+    sampler = ThreadSampler(random.Random(1), relative_error=0.0, tick_seconds=0.01)
+    assert sampler.sample_cpu(1.004) == pytest.approx(1.0)
+    assert sampler.sample_cpu(1.006) == pytest.approx(1.01)
+
+
+def test_estimates_never_negative():
+    sampler = ThreadSampler(random.Random(1), relative_error=0.9)
+    for _ in range(50):
+        assert sampler.sample_cpu(0.001) >= 0.0
+
+
+def test_memory_is_invisible():
+    sampler = ThreadSampler(random.Random(1))
+    assert sampler.sample_memory(12345) is None
+
+
+def test_samples_counted():
+    sampler = ThreadSampler(random.Random(1))
+    sampler.sample_cpu(1.0)
+    sampler.sample_cpu(1.0)
+    assert sampler.samples_taken == 2
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ThreadSampler(random.Random(1), relative_error=-0.1)
+    with pytest.raises(ValueError):
+        ThreadSampler(random.Random(1), tick_seconds=0)
+
+
+def test_deterministic_given_seeded_rng():
+    a = ThreadSampler(random.Random(7))
+    b = ThreadSampler(random.Random(7))
+    assert [a.sample_cpu(5.0) for _ in range(10)] == [
+        b.sample_cpu(5.0) for _ in range(10)
+    ]

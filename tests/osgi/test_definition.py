@@ -1,0 +1,58 @@
+"""BundleDefinition validation."""
+
+import pytest
+
+from repro.osgi.definition import BundleActivator, BundleDefinition, simple_bundle
+from repro.osgi.errors import BundleException
+from repro.osgi.manifest import Manifest
+
+
+def test_export_without_content_rejected():
+    manifest = Manifest.build("b", exports=("missing.pkg",))
+    with pytest.raises(BundleException):
+        BundleDefinition(manifest)
+
+
+def test_declared_activator_without_factory_rejected():
+    manifest = Manifest.build("b", activator="com.example.Activator")
+    with pytest.raises(BundleException):
+        BundleDefinition(manifest)
+
+
+def test_private_packages_allowed_without_export():
+    definition = simple_bundle("b", packages={"secret": {"X": 1}})
+    assert "secret" in definition.packages
+
+
+def test_create_activator_none_for_passive_bundles():
+    assert simple_bundle("b").create_activator() is None
+
+
+def test_create_activator_returns_fresh_instances():
+    definition = simple_bundle("b", activator_factory=BundleActivator)
+    first = definition.create_activator()
+    second = definition.create_activator()
+    assert first is not second
+
+
+def test_activator_missing_methods_rejected():
+    class NotAnActivator:
+        pass
+
+    definition = simple_bundle("b", activator_factory=NotAnActivator)
+    with pytest.raises(BundleException):
+        definition.create_activator()
+
+
+def test_packages_copied_defensively():
+    source = {"pkg": {"X": 1}}
+    definition = simple_bundle("b", exports=("pkg",), packages=source)
+    source["pkg"]["Y"] = 2
+    assert "Y" not in definition.packages["pkg"]
+
+
+def test_identity_accessors():
+    definition = simple_bundle("name.here", version="3.1.4")
+    assert definition.symbolic_name == "name.here"
+    assert str(definition.version) == "3.1.4"
+    assert definition.size_bytes > 0

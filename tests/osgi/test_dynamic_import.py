@@ -1,0 +1,98 @@
+"""DynamicImport-Package: lazy wiring at class-load time."""
+
+import pytest
+
+from repro.osgi.bundle import BundleState
+from repro.osgi.definition import BundleDefinition, simple_bundle
+from repro.osgi.loader import ClassNotFoundError
+from repro.osgi.manifest import Manifest
+
+from tests.conftest import library_bundle
+
+
+def dynamic_bundle(name, patterns):
+    manifest = Manifest.build(name, version="1.0.0", dynamic_imports=patterns)
+    return BundleDefinition(manifest)
+
+
+def test_exact_dynamic_import_wires_on_first_load(framework):
+    framework.install(library_bundle("util", "1.0.0", "dyn-thing"))
+    app = framework.install(dynamic_bundle("app", ["util"]))
+    app.start()
+    assert "util" not in app.wires  # not wired at resolve time
+    assert app.load_class("util.Thing") == "dyn-thing"
+    assert "util" in app.wires  # permanent once established
+
+
+def test_wildcard_prefix_pattern(framework):
+    framework.install(library_bundle("com.acme.util", "1.0.0", "A"))
+    app = framework.install(dynamic_bundle("app", ["com.acme.*"]))
+    app.start()
+    assert app.load_class("com.acme.util.Thing") == "A"
+    with pytest.raises(ClassNotFoundError):
+        app.load_class("org.other.Thing")
+
+
+def test_universal_pattern(framework):
+    framework.install(library_bundle("anything", "1.0.0", "X"))
+    app = framework.install(dynamic_bundle("app", ["*"]))
+    app.start()
+    assert app.load_class("anything.Thing") == "X"
+
+
+def test_no_exporter_falls_through_to_not_found(framework):
+    app = framework.install(dynamic_bundle("app", ["ghost.*"]))
+    app.start()
+    with pytest.raises(ClassNotFoundError):
+        app.load_class("ghost.pkg.Thing")
+    # Bundle remains healthy; a later provider makes the load succeed.
+    framework.install(library_bundle("ghost.pkg", "1.0.0", "late"))
+    assert app.load_class("ghost.pkg.Thing") == "late"
+    assert app.state == BundleState.ACTIVE
+
+
+def test_dynamic_wire_resolves_exporter_transitively(framework):
+    framework.install(
+        simple_bundle("base", exports=("base",), packages={"base": {"T": 1}})
+    )
+    framework.install(
+        simple_bundle(
+            "lib",
+            imports=("base",),
+            exports=("lib.api",),
+            packages={"lib.api": {"Thing": "L"}},
+        )
+    )
+    app = framework.install(dynamic_bundle("app", ["lib.api"]))
+    app.start()
+    assert app.load_class("lib.api.Thing") == "L"
+    assert framework.get_bundle_by_name("base").state == BundleState.RESOLVED
+
+
+def test_static_import_preferred_over_dynamic(framework):
+    framework.install(library_bundle("util", "1.0.0", "static"))
+    manifest = Manifest.build(
+        "app", version="1.0.0", imports=("util",), dynamic_imports=["*"]
+    )
+    app = framework.install(BundleDefinition(manifest))
+    app.start()
+    assert "util" in app.wires  # wired statically at resolution
+    assert app.load_class("util.Thing") == "static"
+
+
+def test_textual_header_parsed():
+    manifest = Manifest.parse(
+        "Bundle-SymbolicName: app\n"
+        "DynamicImport-Package: com.acme.*, org.exact\n"
+    )
+    assert manifest.dynamic_imports == ("com.acme.*", "org.exact")
+
+
+def test_dynamic_wire_survives_for_lifetime_of_wiring(framework):
+    framework.install(library_bundle("util", "1.0.0", "first"))
+    app = framework.install(dynamic_bundle("app", ["util"]))
+    app.start()
+    assert app.load_class("util.Thing") == "first"
+    # A newer exporter appearing later does NOT re-route the wire.
+    framework.install(library_bundle("util", "2.0.0", "second"))
+    assert app.load_class("util.Thing") == "first"

@@ -1,0 +1,107 @@
+"""Event dispatcher: registration, isolation of failing listeners."""
+
+from repro.osgi.events import (
+    BundleEvent,
+    BundleEventType,
+    EventDispatcher,
+    FrameworkEvent,
+    FrameworkEventType,
+    ServiceEvent,
+    ServiceEventType,
+)
+from repro.osgi.filter import parse_filter
+
+
+class FakeReference:
+    def __init__(self, properties):
+        self.properties = properties
+
+
+def test_bundle_listener_receives_events():
+    dispatcher = EventDispatcher()
+    seen = []
+    dispatcher.add_bundle_listener(seen.append)
+    event = BundleEvent(BundleEventType.INSTALLED, "bundle")
+    dispatcher.fire_bundle_event(event)
+    assert seen == [event]
+
+
+def test_duplicate_listener_registered_once():
+    dispatcher = EventDispatcher()
+    seen = []
+    dispatcher.add_bundle_listener(seen.append)
+    dispatcher.add_bundle_listener(seen.append)
+    dispatcher.fire_bundle_event(BundleEvent(BundleEventType.INSTALLED, "b"))
+    assert len(seen) == 1
+
+
+def test_removed_listener_stops_receiving():
+    dispatcher = EventDispatcher()
+    seen = []
+    dispatcher.add_bundle_listener(seen.append)
+    dispatcher.remove_bundle_listener(seen.append)
+    dispatcher.fire_bundle_event(BundleEvent(BundleEventType.INSTALLED, "b"))
+    assert seen == []
+
+
+def test_failing_listener_reported_not_propagated():
+    dispatcher = EventDispatcher()
+    errors = []
+    dispatcher.add_framework_listener(errors.append)
+    called_after = []
+
+    def bad(event):
+        raise RuntimeError("listener bug")
+
+    dispatcher.add_bundle_listener(bad)
+    dispatcher.add_bundle_listener(called_after.append)
+    dispatcher.fire_bundle_event(BundleEvent(BundleEventType.STARTED, "b"))
+    assert len(called_after) == 1
+    assert len(errors) == 1
+    assert errors[0].type == FrameworkEventType.ERROR
+
+
+def test_failing_framework_listener_swallowed():
+    dispatcher = EventDispatcher()
+
+    def bad(event):
+        raise RuntimeError("meta bug")
+
+    dispatcher.add_framework_listener(bad)
+    dispatcher.fire_framework_event(FrameworkEvent(FrameworkEventType.INFO))
+
+
+def test_service_listener_filter_applies():
+    dispatcher = EventDispatcher()
+    seen = []
+    dispatcher.add_service_listener(seen.append, parse_filter("(want=1)"))
+    dispatcher.fire_service_event(
+        ServiceEvent(ServiceEventType.REGISTERED, FakeReference({"want": 0}))
+    )
+    dispatcher.fire_service_event(
+        ServiceEvent(ServiceEventType.REGISTERED, FakeReference({"want": 1}))
+    )
+    assert len(seen) == 1
+
+
+def test_re_adding_service_listener_replaces_filter():
+    dispatcher = EventDispatcher()
+    seen = []
+    dispatcher.add_service_listener(seen.append, parse_filter("(a=1)"))
+    dispatcher.add_service_listener(seen.append, None)
+    dispatcher.fire_service_event(
+        ServiceEvent(ServiceEventType.REGISTERED, FakeReference({}))
+    )
+    assert len(seen) == 1
+
+
+def test_clear_removes_everything():
+    dispatcher = EventDispatcher()
+    seen = []
+    dispatcher.add_bundle_listener(seen.append)
+    dispatcher.add_service_listener(seen.append)
+    dispatcher.add_framework_listener(seen.append)
+    dispatcher.clear()
+    dispatcher.fire_bundle_event(BundleEvent(BundleEventType.INSTALLED, "b"))
+    dispatcher.fire_framework_event(FrameworkEvent(FrameworkEventType.INFO))
+    assert seen == []

@@ -1,0 +1,171 @@
+"""LDAP filter parsing and matching, with a property-based round trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.osgi.errors import InvalidSyntaxError
+from repro.osgi.filter import Filter, parse_filter
+from repro.osgi.version import Version
+
+
+class TestParsing:
+    def test_simple_equality(self):
+        f = parse_filter("(name=felix)")
+        assert f.kind == Filter.EQUAL
+        assert f.attribute == "name"
+        assert f.value == "felix"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(",
+            ")",
+            "(a=1",
+            "a=1",
+            "(=1)",
+            "(&)",
+            "(|)",
+            "(!(a=1)(b=2))x",
+            "(a=1)(b=2)",
+            "(a~=fo*o)",
+            "(a>=fo*o)",
+        ],
+    )
+    def test_malformed_filters_raise(self, bad):
+        with pytest.raises(InvalidSyntaxError):
+            parse_filter(bad)
+
+    def test_escaped_special_characters(self):
+        f = parse_filter(r"(path=/tmp/\(x\)/\*)")
+        assert f.matches({"path": "/tmp/(x)/*"})
+        assert not f.matches({"path": "/tmp/x"})
+
+    def test_whitespace_tolerated_around_nodes(self):
+        f = parse_filter("(& (a=1) (b=2) )")
+        assert f.matches({"a": 1, "b": 2})
+
+
+class TestMatching:
+    def test_and(self):
+        f = parse_filter("(&(a=1)(b=2))")
+        assert f.matches({"a": 1, "b": 2})
+        assert not f.matches({"a": 1, "b": 3})
+
+    def test_or(self):
+        f = parse_filter("(|(a=1)(a=2))")
+        assert f.matches({"a": 1})
+        assert f.matches({"a": 2})
+        assert not f.matches({"a": 3})
+
+    def test_not(self):
+        f = parse_filter("(!(a=1))")
+        assert not f.matches({"a": 1})
+        assert f.matches({"a": 2})
+
+    def test_nested_composite(self):
+        f = parse_filter("(&(|(x=1)(y=1))(!(z=1)))")
+        assert f.matches({"x": 1, "z": 0})
+        assert not f.matches({"x": 1, "z": 1})
+
+    def test_missing_attribute_never_matches(self):
+        assert not parse_filter("(ghost=1)").matches({})
+
+    def test_presence(self):
+        f = parse_filter("(a=*)")
+        assert f.matches({"a": "anything"})
+        assert f.matches({"a": 0})
+        assert not f.matches({"b": 1})
+
+    def test_attribute_names_case_insensitive(self):
+        f = parse_filter("(ObjectClass=foo)")
+        assert f.matches({"objectclass": "foo"})
+        assert f.matches({"OBJECTCLASS": "foo"})
+
+    def test_values_case_sensitive_for_equal(self):
+        assert not parse_filter("(a=Foo)").matches({"a": "foo"})
+
+    def test_approx_ignores_case_and_whitespace(self):
+        f = parse_filter("(a~=Hello World)")
+        assert f.matches({"a": "helloworld"})
+        assert f.matches({"a": "HELLO WORLD"})
+        assert not f.matches({"a": "hello"})
+
+    def test_numeric_comparisons(self):
+        assert parse_filter("(n>=3)").matches({"n": 5})
+        assert not parse_filter("(n>=3)").matches({"n": 2})
+        assert parse_filter("(n<=3)").matches({"n": 3})
+        assert parse_filter("(n=3)").matches({"n": 3.0})
+
+    def test_numeric_against_garbage_filter_value(self):
+        assert not parse_filter("(n>=abc)").matches({"n": 5})
+
+    def test_string_ordering(self):
+        assert parse_filter("(s>=b)").matches({"s": "c"})
+        assert not parse_filter("(s>=b)").matches({"s": "a"})
+
+    def test_version_aware_comparison(self):
+        props = {"v": Version.parse("1.5.0")}
+        assert parse_filter("(v>=1.2)").matches(props)
+        assert not parse_filter("(v>=2.0)").matches(props)
+        assert parse_filter("(v=1.5.0)").matches(props)
+
+    def test_boolean_property(self):
+        assert parse_filter("(flag=true)").matches({"flag": True})
+        assert not parse_filter("(flag=true)").matches({"flag": False})
+
+    def test_list_property_matches_any_element(self):
+        f = parse_filter("(objectClass=log.LogService)")
+        assert f.matches({"objectClass": ["other", "log.LogService"]})
+        assert not f.matches({"objectClass": ["other"]})
+
+    def test_substring_patterns(self):
+        assert parse_filter("(a=foo*)").matches({"a": "foobar"})
+        assert parse_filter("(a=*bar)").matches({"a": "foobar"})
+        assert parse_filter("(a=f*b*r)").matches({"a": "foobar"})
+        assert not parse_filter("(a=f*z*r)").matches({"a": "foobar"})
+
+    def test_substring_requires_non_overlapping_parts(self):
+        assert not parse_filter("(a=ab*ba)").matches({"a": "aba"})
+        assert parse_filter("(a=ab*ba)").matches({"a": "abba"})
+
+
+_attr = st.sampled_from(["a", "b", "objectClass", "service-ranking"])
+_value = st.text(
+    alphabet=st.characters(blacklist_characters="()*\\\x00", min_codepoint=32),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def filters(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["=", ">=", "<=", "~="]))
+        return "(%s%s%s)" % (draw(_attr), kind, draw(_value).strip() or "v")
+    op = draw(st.sampled_from(["&", "|"]))
+    children = draw(st.lists(filters(depth=depth - 1), min_size=1, max_size=3))
+    return "(%s%s)" % (op, "".join(children))
+
+
+@given(filters())
+def test_generated_filters_parse(text):
+    parse_filter(text)
+
+
+@given(filters())
+def test_render_reparse_matches_same(text):
+    f = parse_filter(text)
+    rendered = f._render()
+    reparsed = parse_filter(rendered)
+    for props in ({}, {"a": "v"}, {"objectClass": "v", "b": "v"}):
+        assert f.matches(props) == reparsed.matches(props)
+
+
+@given(st.dictionaries(_attr, st.one_of(_value, st.integers(-5, 5)), max_size=4))
+def test_and_of_equals_matches_iff_all_present(props):
+    clauses = "".join("(%s=%s)" % (k, v) for k, v in props.items())
+    if not clauses:
+        return
+    f = parse_filter("(&%s)" % clauses)
+    assert f.matches(props)

@@ -1,0 +1,250 @@
+"""Bundle lifecycle: the OSGi state machine, activators, update, uninstall."""
+
+import pytest
+
+from repro.osgi.bundle import BundleState
+from repro.osgi.definition import simple_bundle
+from repro.osgi.errors import BundleException
+from repro.osgi.events import BundleEventType
+
+from tests.conftest import (
+    FailingStartActivator,
+    FailingStopActivator,
+    RecordingActivator,
+    library_bundle,
+)
+
+
+def test_install_puts_bundle_in_installed(framework):
+    bundle = framework.install(simple_bundle("a"))
+    assert bundle.state == BundleState.INSTALLED
+
+
+def test_start_transitions_to_active(framework):
+    bundle = framework.install(simple_bundle("a"))
+    bundle.start()
+    assert bundle.state == BundleState.ACTIVE
+
+
+def test_start_is_idempotent(framework):
+    activator = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=lambda: activator)
+    )
+    bundle.start()
+    bundle.start()
+    assert activator.events == ["start"]
+
+
+def test_stop_returns_to_resolved(framework):
+    bundle = framework.install(simple_bundle("a"))
+    bundle.start()
+    bundle.stop()
+    assert bundle.state == BundleState.RESOLVED
+
+
+def test_stop_when_not_active_is_noop(framework):
+    bundle = framework.install(simple_bundle("a"))
+    bundle.stop()
+    assert bundle.state == BundleState.INSTALLED
+
+
+def test_activator_receives_valid_context(framework):
+    activator = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=lambda: activator)
+    )
+    bundle.start()
+    assert activator.context is not None
+    assert activator.context.bundle is bundle
+
+
+def test_failing_start_rolls_back_to_resolved(framework):
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=FailingStartActivator)
+    )
+    with pytest.raises(BundleException) as excinfo:
+        bundle.start()
+    assert excinfo.value.type == BundleException.ACTIVATOR_ERROR
+    assert bundle.state == BundleState.RESOLVED
+    assert bundle.context is None
+
+
+def test_failing_stop_still_stops_bundle(framework):
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=FailingStopActivator)
+    )
+    bundle.start()
+    with pytest.raises(BundleException):
+        bundle.stop()
+    assert bundle.state == BundleState.RESOLVED
+
+
+def test_stop_unregisters_bundle_services(framework):
+    activator = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=lambda: activator)
+    )
+    bundle.start()
+    activator.context.register_service("x.Svc", object())
+    assert framework.registry.get_reference("x.Svc") is not None
+    bundle.stop()
+    assert framework.registry.get_reference("x.Svc") is None
+
+
+def test_context_invalid_after_stop(framework):
+    activator = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=lambda: activator)
+    )
+    bundle.start()
+    context = activator.context
+    bundle.stop()
+    with pytest.raises(BundleException):
+        context.register_service("x", object())
+
+
+def test_lifecycle_events_in_order(framework):
+    events = []
+    framework.dispatcher.add_bundle_listener(
+        lambda e: events.append((e.type, e.bundle.symbolic_name))
+    )
+    bundle = framework.install(simple_bundle("a"))
+    bundle.start()
+    bundle.stop()
+    bundle.uninstall()
+    kinds = [k for k, name in events if name == "a"]
+    assert kinds == [
+        BundleEventType.INSTALLED,
+        BundleEventType.RESOLVED,
+        BundleEventType.STARTING,
+        BundleEventType.STARTED,
+        BundleEventType.STOPPING,
+        BundleEventType.STOPPED,
+        BundleEventType.UNRESOLVED,
+        BundleEventType.UNINSTALLED,
+    ]
+
+
+def test_uninstall_active_bundle_stops_it_first(framework):
+    activator = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=lambda: activator)
+    )
+    bundle.start()
+    bundle.uninstall()
+    assert activator.events == ["start", "stop"]
+    assert bundle.state == BundleState.UNINSTALLED
+
+
+def test_operations_on_uninstalled_bundle_raise(framework):
+    bundle = framework.install(simple_bundle("a"))
+    bundle.uninstall()
+    for operation in (bundle.start, bundle.stop, bundle.uninstall):
+        with pytest.raises(BundleException):
+            operation()
+
+
+def test_uninstalled_bundle_gone_from_framework(framework):
+    bundle = framework.install(simple_bundle("a"))
+    bundle_id = bundle.bundle_id
+    bundle.uninstall()
+    assert framework.get_bundle(bundle_id) is None
+
+
+def test_update_replaces_definition_and_restarts(framework):
+    activator_v2 = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", version="1.0.0", activator_factory=RecordingActivator)
+    )
+    bundle.start()
+    bundle.update(
+        simple_bundle("a", version="2.0.0", activator_factory=lambda: activator_v2)
+    )
+    assert str(bundle.version) == "2.0.0"
+    assert bundle.state == BundleState.ACTIVE
+    assert activator_v2.events == ["start"]
+
+
+def test_update_stopped_bundle_stays_stopped(framework):
+    bundle = framework.install(simple_bundle("a", version="1.0.0"))
+    bundle.update(simple_bundle("a", version="2.0.0"))
+    assert bundle.state == BundleState.INSTALLED
+
+
+def test_update_fires_updated_event(framework):
+    events = []
+    framework.dispatcher.add_bundle_listener(lambda e: events.append(e.type))
+    bundle = framework.install(simple_bundle("a"))
+    bundle.update(simple_bundle("a", version="2.0.0"))
+    assert BundleEventType.UPDATED in events
+
+
+def test_update_rewires_dependents_on_next_resolve(framework):
+    framework.install(library_bundle("lib", "1.0.0", symbol_value="v1"))
+    consumer = framework.install(
+        simple_bundle("app", imports=("lib;version=\"[1.0,3.0)\"",))
+    )
+    consumer.start()
+    assert consumer.load_class("lib.Thing") == "v1"
+
+
+def test_ledger_accounting_via_context(framework):
+    activator = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=lambda: activator)
+    )
+    bundle.start()
+    activator.context.account(cpu=0.5, memory_delta=100, disk_delta=10)
+    activator.context.account(cpu=0.25, memory_delta=-30)
+    snapshot = bundle.ledger.snapshot()
+    assert snapshot["cpu_seconds"] == 0.75
+    assert snapshot["memory_bytes"] == 70
+    assert snapshot["disk_bytes"] == 10
+
+
+def test_negative_cpu_account_rejected(framework):
+    activator = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=lambda: activator)
+    )
+    bundle.start()
+    with pytest.raises(ValueError):
+        activator.context.account(cpu=-1.0)
+
+
+def test_memory_never_goes_negative(framework):
+    bundle = framework.install(simple_bundle("a"))
+    bundle.ledger.account(memory_delta=-500)
+    assert bundle.ledger.memory_bytes == 0
+
+
+def test_data_store_persists_across_restart(framework):
+    activator = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("a", activator_factory=lambda: activator)
+    )
+    bundle.start()
+    activator.context.get_data_store()["key"] = {"nested": [1, 2, 3]}
+    bundle.stop()
+    bundle.start()
+    fresh = bundle.context.get_data_store()
+    assert fresh["key"] == {"nested": [1, 2, 3]}
+
+
+def test_update_preserves_data_area(framework):
+    """The data area is keyed by symbolic name, so a bundle update (new
+    code, same identity) keeps the persistent state — the OSGi contract
+    stateful services rely on across upgrades."""
+    activator_v1 = RecordingActivator()
+    bundle = framework.install(
+        simple_bundle("svc", version="1.0.0", activator_factory=lambda: activator_v1)
+    )
+    bundle.start()
+    activator_v1.context.get_data_store()["orders"] = [1, 2]
+
+    activator_v2 = RecordingActivator()
+    bundle.update(
+        simple_bundle("svc", version="2.0.0", activator_factory=lambda: activator_v2)
+    )
+    assert activator_v2.context.get_data_store()["orders"] == [1, 2]

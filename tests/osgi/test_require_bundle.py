@@ -1,0 +1,129 @@
+"""Require-Bundle resolution: whole-bundle dependencies."""
+
+import pytest
+
+from repro.osgi.bundle import BundleState
+from repro.osgi.definition import BundleDefinition, simple_bundle
+from repro.osgi.errors import ResolutionError
+from repro.osgi.manifest import Manifest
+
+
+def requiring_bundle(name, required, version_range="0.0.0", optional=False):
+    clause = required
+    if version_range != "0.0.0":
+        clause = '%s;bundle-version="%s"' % (required, version_range)
+    if optional:
+        clause += ";resolution:=optional"
+    manifest = Manifest.build(name, version="1.0.0", requires=(clause,))
+    return BundleDefinition(manifest)
+
+
+def multi_export_lib(version="1.0.0", marker="v1"):
+    return simple_bundle(
+        "lib",
+        version=version,
+        exports=('lib.api;version="%s"' % version, 'lib.util;version="%s"' % version),
+        packages={
+            "lib.api": {"Thing": marker + "-api"},
+            "lib.util": {"Thing": marker + "-util"},
+        },
+    )
+
+
+def test_require_grants_all_exported_packages(framework):
+    framework.install(multi_export_lib())
+    app = framework.install(requiring_bundle("app", "lib"))
+    app.start()
+    assert app.load_class("lib.api.Thing") == "v1-api"
+    assert app.load_class("lib.util.Thing") == "v1-util"
+
+
+def test_require_missing_bundle_fails(framework):
+    app = framework.install(requiring_bundle("app", "ghost"))
+    with pytest.raises(ResolutionError) as excinfo:
+        app.start()
+    assert "ghost" in str(excinfo.value)
+
+
+def test_optional_require_tolerates_absence(framework):
+    app = framework.install(requiring_bundle("app", "ghost", optional=True))
+    app.start()
+    assert app.state == BundleState.ACTIVE
+
+
+def test_require_respects_bundle_version_range(framework):
+    framework.install(multi_export_lib(version="3.0.0", marker="v3"))
+    app = framework.install(requiring_bundle("app", "lib", "[1.0,2.0)"))
+    with pytest.raises(ResolutionError):
+        app.start()
+
+
+def test_require_prefers_highest_version(framework):
+    framework.install(multi_export_lib(version="1.0.0", marker="v1"))
+    framework.install(multi_export_lib(version="1.5.0", marker="v15"))
+    app = framework.install(requiring_bundle("app", "lib", "[1.0,2.0)"))
+    app.start()
+    assert app.load_class("lib.api.Thing") == "v15-api"
+
+
+def test_explicit_import_wins_over_require(framework):
+    framework.install(multi_export_lib(marker="required"))
+    framework.install(
+        simple_bundle(
+            "other",
+            exports=('lib.api;version="9.0.0"',),
+            packages={"lib.api": {"Thing": "imported"}},
+        )
+    )
+    manifest = Manifest.build(
+        "app", version="1.0.0", imports=('lib.api;version="9.0.0"',), requires=("lib",)
+    )
+    app = framework.install(BundleDefinition(manifest))
+    app.start()
+    # lib.api comes from the explicit import; lib.util still via require.
+    assert app.load_class("lib.api.Thing") == "imported"
+    assert app.load_class("lib.util.Thing") == "required-util"
+
+
+def test_require_resolves_provider_transitively(framework):
+    framework.install(
+        simple_bundle(
+            "base",
+            exports=("base",),
+            packages={"base": {"Thing": "B"}},
+        )
+    )
+    framework.install(
+        simple_bundle(
+            "lib",
+            imports=("base",),
+            exports=("lib.api",),
+            packages={"lib.api": {"Thing": "L"}},
+        )
+    )
+    app = framework.install(requiring_bundle("app", "lib"))
+    app.start()
+    assert framework.get_bundle_by_name("base").state == BundleState.RESOLVED
+
+
+def test_require_with_unresolvable_provider_falls_back(framework):
+    # lib 2.0 requires a missing dep; lib 1.0 is clean.
+    broken = simple_bundle(
+        "lib",
+        version="2.0.0",
+        imports=("nowhere",),
+        exports=("lib.api",),
+        packages={"lib.api": {"Thing": "broken"}},
+    )
+    framework.install(broken)
+    framework.install(
+        simple_bundle(
+            "lib",
+            version="1.0.0",
+            exports=("lib.api",),
+            packages={"lib.api": {"Thing": "works"}},
+        )
+    )
+    app = framework.install(requiring_bundle("app", "lib"))
+    app.start()
+    assert app.load_class("lib.api.Thing") == "works"

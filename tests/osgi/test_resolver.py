@@ -1,0 +1,189 @@
+"""Wiring resolution: candidates, versions, transitivity, cycles, failures."""
+
+import pytest
+
+from repro.osgi.bundle import BundleState
+from repro.osgi.definition import simple_bundle
+from repro.osgi.errors import ResolutionError
+from repro.osgi.loader import ClassNotFoundError
+
+from tests.conftest import consumer_bundle, library_bundle
+
+
+def test_import_wired_to_exporter(framework):
+    lib = framework.install(library_bundle("util", "1.0.0", "the-thing"))
+    app = framework.install(consumer_bundle("app", "util"))
+    app.start()
+    assert app.wires["util"].exporter is lib
+    assert app.load_class("util.Thing") == "the-thing"
+
+
+def test_missing_import_fails_resolution(framework):
+    app = framework.install(consumer_bundle("app", "ghost.pkg"))
+    with pytest.raises(ResolutionError) as excinfo:
+        app.start()
+    assert "ghost.pkg" in str(excinfo.value)
+    assert app.state == BundleState.INSTALLED
+
+
+def test_optional_import_tolerates_absence(framework):
+    app = framework.install(
+        simple_bundle("app", imports=("maybe;resolution:=optional",))
+    )
+    app.start()
+    assert app.state == BundleState.ACTIVE
+    with pytest.raises(ClassNotFoundError):
+        app.load_class("maybe.Thing")
+
+
+def test_version_range_excludes_wrong_exporter(framework):
+    framework.install(library_bundle("util", "3.0.0"))
+    app = framework.install(consumer_bundle("app", "util", "[1.0,2.0)"))
+    with pytest.raises(ResolutionError):
+        app.start()
+
+
+def test_highest_version_preferred(framework):
+    framework.install(library_bundle("util", "1.0.0", "old"))
+    framework.install(library_bundle("util", "1.5.0", "new"))
+    app = framework.install(consumer_bundle("app", "util", "[1.0,2.0)"))
+    app.start()
+    assert app.load_class("util.Thing") == "new"
+
+
+def test_already_resolved_exporter_preferred_over_higher_version(framework):
+    old = framework.install(library_bundle("util", "1.0.0", "old"))
+    first = framework.install(consumer_bundle("first", "util"))
+    first.start()  # resolves old
+    framework.install(library_bundle("util", "1.5.0", "new"))
+    second = framework.install(consumer_bundle("second", "util"))
+    second.start()
+    assert second.load_class("util.Thing") == "old"
+
+
+def test_transitive_resolution(framework):
+    base = framework.install(library_bundle("base", "1.0.0", "B"))
+    middle = framework.install(
+        simple_bundle(
+            "middle",
+            imports=("base",),
+            exports=('mid;version="1.0.0"',),
+            packages={"mid": {"Thing": "M"}},
+        )
+    )
+    app = framework.install(consumer_bundle("app", "mid"))
+    app.start()
+    assert base.state == BundleState.RESOLVED
+    assert middle.state == BundleState.RESOLVED
+    assert app.load_class("mid.Thing") == "M"
+
+
+def test_transitive_failure_propagates(framework):
+    framework.install(
+        simple_bundle(
+            "middle",
+            imports=("missing.dep",),
+            exports=("mid",),
+            packages={"mid": {"Thing": "M"}},
+        )
+    )
+    app = framework.install(consumer_bundle("app", "mid"))
+    with pytest.raises(ResolutionError):
+        app.start()
+
+
+def test_mutual_import_cycle_resolves(framework):
+    a = framework.install(
+        simple_bundle(
+            "a",
+            imports=("pkg.b",),
+            exports=("pkg.a",),
+            packages={"pkg.a": {"Thing": "A"}},
+        )
+    )
+    b = framework.install(
+        simple_bundle(
+            "b",
+            imports=("pkg.a",),
+            exports=("pkg.b",),
+            packages={"pkg.b": {"Thing": "B"}},
+        )
+    )
+    a.start()
+    assert a.state == BundleState.ACTIVE
+    assert b.state == BundleState.RESOLVED
+    assert a.load_class("pkg.b.Thing") == "B"
+    assert b.namespace.load("pkg.a.Thing") == "A"
+
+
+def test_backtracking_picks_resolvable_candidate(framework):
+    # v2 exporter itself has an unsatisfiable import; resolver must fall
+    # back to v1 instead of failing.
+    framework.install(
+        simple_bundle(
+            "broken-lib",
+            version="2.0.0",
+            imports=("nowhere",),
+            exports=('util;version="2.0.0"',),
+            packages={"util": {"Thing": "broken"}},
+        )
+    )
+    framework.install(library_bundle("util", "1.0.0", "works"))
+    app = framework.install(consumer_bundle("app", "util"))
+    app.start()
+    assert app.load_class("util.Thing") == "works"
+
+
+def test_imported_package_shadows_private_content(framework):
+    framework.install(library_bundle("shared", "1.0.0", "from-wire"))
+    app = framework.install(
+        simple_bundle(
+            "app",
+            imports=("shared",),
+            packages={"shared": {"Thing": "private-copy"}},
+        )
+    )
+    app.start()
+    assert app.load_class("shared.Thing") == "from-wire"
+
+
+def test_private_package_invisible_to_others(framework):
+    framework.install(
+        simple_bundle("secretive", packages={"secret": {"Thing": "hidden"}})
+    )
+    app = framework.install(consumer_bundle("app", "secret"))
+    with pytest.raises(ResolutionError):
+        app.start()
+
+
+def test_uninstalled_bundle_not_a_candidate(framework):
+    lib = framework.install(library_bundle("util", "1.0.0"))
+    lib.uninstall()
+    app = framework.install(consumer_bundle("app", "util"))
+    with pytest.raises(ResolutionError):
+        app.start()
+
+
+def test_namespace_isolation_between_consumers(framework):
+    framework.install(library_bundle("util", "1.0.0", "v1"))
+    framework.install(library_bundle("util", "2.0.0", "v2"))
+    app1 = framework.install(consumer_bundle("app1", "util", "[1.0,2.0)"))
+    app2 = framework.install(consumer_bundle("app2", "util", "[2.0,3.0)"))
+    app1.start()
+    app2.start()
+    # Two bundles see different objects for the same qualified name.
+    assert app1.load_class("util.Thing") == "v1"
+    assert app2.load_class("util.Thing") == "v2"
+
+
+def test_visible_packages_report_provenance(framework):
+    framework.install(library_bundle("util", "1.0.0"))
+    app = framework.install(
+        simple_bundle(
+            "app", imports=("util",), packages={"own": {"Thing": 1}}
+        )
+    )
+    app.start()
+    view = app.namespace.visible_packages()
+    assert view["util"] == "util"
+    assert view["own"] == "local"

@@ -1,0 +1,111 @@
+"""Property-based resolver checks over random dependency graphs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.osgi.bundle import BundleState
+from repro.osgi.definition import simple_bundle
+from repro.osgi.errors import ResolutionError
+from repro.osgi.framework import Framework
+
+# A random layered dependency graph: bundle i may import packages exported
+# only by bundles with smaller index (guaranteeing a solution exists).
+MAX_BUNDLES = 6
+
+
+@st.composite
+def layered_graphs(draw):
+    count = draw(st.integers(2, MAX_BUNDLES))
+    edges = []
+    for importer in range(1, count):
+        providers = draw(
+            st.lists(
+                st.integers(0, importer - 1), unique=True, min_size=0, max_size=2
+            )
+        )
+        edges.append(providers)
+    return count, edges
+
+
+def build(framework, count, edges):
+    bundles = []
+    for i in range(count):
+        imports = tuple("pkg%d" % p for p in (edges[i - 1] if i >= 1 else []))
+        definition = simple_bundle(
+            "b%d" % i,
+            exports=("pkg%d" % i,),
+            imports=imports,
+            packages={"pkg%d" % i: {"Thing": "thing-%d" % i}},
+        )
+        bundles.append(framework.install(definition))
+    return bundles
+
+
+@settings(max_examples=50, deadline=None)
+@given(layered_graphs())
+def test_solvable_graphs_always_resolve(graph):
+    count, edges = graph
+    framework = Framework("prop")
+    framework.start()
+    bundles = build(framework, count, edges)
+    for bundle in bundles:
+        bundle.start()
+        assert bundle.state == BundleState.ACTIVE
+    # Every wire points at the declared provider and loads its symbol.
+    for i, bundle in enumerate(bundles[1:], start=1):
+        for provider_index in edges[i - 1]:
+            package = "pkg%d" % provider_index
+            assert bundle.wires[package].exporter.symbolic_name == (
+                "b%d" % provider_index
+            )
+            assert bundle.load_class("%s.Thing" % package) == (
+                "thing-%d" % provider_index
+            )
+    framework.stop()
+
+
+@settings(max_examples=50, deadline=None)
+@given(layered_graphs(), st.integers(0, MAX_BUNDLES - 1))
+def test_removing_a_provider_breaks_exactly_its_dependents(graph, removed):
+    count, edges = graph
+    removed = removed % count
+    framework = Framework("prop2")
+    framework.start()
+    bundles = []
+    for i in range(count):
+        if i == removed:
+            bundles.append(None)
+            continue
+        imports = tuple("pkg%d" % p for p in (edges[i - 1] if i >= 1 else []))
+        definition = simple_bundle(
+            "b%d" % i,
+            exports=("pkg%d" % i,),
+            imports=imports,
+            packages={"pkg%d" % i: {"Thing": i}},
+        )
+        bundles.append(framework.install(definition))
+
+    def depends_on_removed(index, seen=None):
+        if seen is None:
+            seen = set()
+        if index in seen:
+            return False
+        seen.add(index)
+        if index == removed:
+            return True
+        providers = edges[index - 1] if index >= 1 else []
+        return any(depends_on_removed(p, seen) for p in providers)
+
+    for i, bundle in enumerate(bundles):
+        if bundle is None:
+            continue
+        if depends_on_removed(i):
+            try:
+                bundle.start()
+                started = True
+            except ResolutionError:
+                started = False
+            assert not started, "b%d should be unresolvable" % i
+        else:
+            bundle.start()
+            assert bundle.state == BundleState.ACTIVE
+    framework.stop()

@@ -1,0 +1,141 @@
+"""Start-level ordered activation/deactivation."""
+
+import pytest
+
+from repro.osgi.bundle import BundleState
+from repro.osgi.definition import simple_bundle
+from repro.osgi.errors import BundleException
+from repro.osgi.framework import Framework
+
+from tests.conftest import RecordingActivator
+
+
+def ordered_framework():
+    fw = Framework("levels")
+    fw.start(target_level=1)
+    return fw
+
+
+def test_bundle_above_framework_level_waits():
+    fw = ordered_framework()
+    bundle = fw.install(simple_bundle("a"))
+    fw.start_levels.set_bundle_level(bundle, 5)
+    bundle.start()
+    assert bundle.state != BundleState.ACTIVE
+    assert bundle.autostart
+    fw.start_levels.set_level(5)
+    assert bundle.state == BundleState.ACTIVE
+
+
+def test_lowering_level_stops_bundles_but_keeps_autostart():
+    fw = ordered_framework()
+    bundle = fw.install(simple_bundle("a"))
+    fw.start_levels.set_bundle_level(bundle, 3)
+    fw.start_levels.set_level(3)
+    bundle.start()
+    assert bundle.state == BundleState.ACTIVE
+    fw.start_levels.set_level(1)
+    assert bundle.state == BundleState.RESOLVED
+    assert bundle.autostart
+    fw.start_levels.set_level(3)
+    assert bundle.state == BundleState.ACTIVE
+
+
+def test_activation_order_follows_levels():
+    order = []
+
+    def make_activator(name):
+        class A(RecordingActivator):
+            def start(self, context):
+                order.append(name)
+
+            def stop(self, context):
+                order.append("-" + name)
+
+        return A
+
+    fw = ordered_framework()
+    late = fw.install(simple_bundle("late", activator_factory=make_activator("late")))
+    early = fw.install(
+        simple_bundle("early", activator_factory=make_activator("early"))
+    )
+    fw.start_levels.set_bundle_level(late, 5)
+    fw.start_levels.set_bundle_level(early, 2)
+    late.start()
+    early.start()
+    fw.start_levels.set_level(10)
+    assert order == ["early", "late"]
+    fw.start_levels.set_level(0)
+    assert order == ["early", "late", "-late", "-early"]
+
+
+def test_same_level_ordered_by_bundle_id():
+    order = []
+
+    def make_activator(name):
+        class A(RecordingActivator):
+            def start(self, context):
+                order.append(name)
+
+        return A
+
+    fw = ordered_framework()
+    first = fw.install(simple_bundle("first", activator_factory=make_activator("f")))
+    second = fw.install(
+        simple_bundle("second", activator_factory=make_activator("s"))
+    )
+    for bundle in (first, second):
+        fw.start_levels.set_bundle_level(bundle, 4)
+        bundle.start()
+    fw.start_levels.set_level(4)
+    assert order == ["f", "s"]
+
+
+def test_invalid_levels_rejected():
+    fw = ordered_framework()
+    bundle = fw.install(simple_bundle("a"))
+    with pytest.raises(BundleException):
+        fw.start_levels.set_bundle_level(bundle, 0)
+    with pytest.raises(BundleException):
+        fw.start_levels.set_level(-1)
+
+
+def test_moving_bundle_level_applies_immediately():
+    fw = ordered_framework()
+    fw.start_levels.set_level(5)
+    bundle = fw.install(simple_bundle("a"))
+    bundle.start()
+    assert bundle.state == BundleState.ACTIVE
+    fw.start_levels.set_bundle_level(bundle, 9)
+    assert bundle.state == BundleState.RESOLVED
+    fw.start_levels.set_bundle_level(bundle, 2)
+    assert bundle.state == BundleState.ACTIVE
+
+
+def test_startlevel_changed_event_fired():
+    from repro.osgi.events import FrameworkEventType
+
+    fw = ordered_framework()
+    events = []
+    fw.dispatcher.add_framework_listener(events.append)
+    fw.start_levels.set_level(5)
+    fw.start_levels.set_level(5)  # no-op: no duplicate event
+    changed = [
+        e for e in events if e.type == FrameworkEventType.STARTLEVEL_CHANGED
+    ]
+    assert len(changed) == 1
+    assert "5" in changed[0].message
+
+
+def test_failing_activator_does_not_block_level_walk():
+    from tests.conftest import FailingStartActivator
+
+    fw = ordered_framework()
+    bad = fw.install(simple_bundle("bad", activator_factory=FailingStartActivator))
+    good = fw.install(simple_bundle("good"))
+    for bundle in (bad, good):
+        fw.start_levels.set_bundle_level(bundle, 3)
+        bundle.start()
+    fw.start_levels.set_level(3)
+    assert good.state == BundleState.ACTIVE
+    assert bad.state == BundleState.RESOLVED

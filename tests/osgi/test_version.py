@@ -1,0 +1,132 @@
+"""Version and version-range semantics, including property-based ordering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.osgi.version import ANY_VERSION, Version, VersionRange
+
+
+class TestVersionParse:
+    def test_full(self):
+        v = Version.parse("1.2.3.beta-1")
+        assert (v.major, v.minor, v.micro, v.qualifier) == (1, 2, 3, "beta-1")
+
+    def test_partial_components_default_to_zero(self):
+        assert Version.parse("2") == Version(2, 0, 0)
+        assert Version.parse("2.1") == Version(2, 1, 0)
+
+    def test_idempotent_on_version(self):
+        v = Version(1, 2, 3)
+        assert Version.parse(v) is v
+
+    @pytest.mark.parametrize("bad", ["", "a.b.c", "1.2.3.4.5", "1..2", "-1"])
+    def test_invalid_strings(self, bad):
+        with pytest.raises(ValueError):
+            Version.parse(bad)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            Version(-1)
+
+    def test_invalid_qualifier_rejected(self):
+        with pytest.raises(ValueError):
+            Version(1, 0, 0, "has space")
+
+    def test_str_roundtrip(self):
+        for text in ["0.0.0", "1.2.3", "9.8.7.rc1"]:
+            assert str(Version.parse(text)) == text
+
+
+class TestVersionOrdering:
+    def test_major_dominates(self):
+        assert Version.parse("2.0.0") > Version.parse("1.99.99")
+
+    def test_qualifier_orders_lexicographically(self):
+        assert Version.parse("1.0.0.a") < Version.parse("1.0.0.b")
+
+    def test_no_qualifier_sorts_before_qualifier(self):
+        assert Version.parse("1.0.0") < Version.parse("1.0.0.alpha")
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Version.parse("1.2.3")) == hash(Version(1, 2, 3))
+
+
+version_strategy = st.builds(
+    Version,
+    st.integers(0, 99),
+    st.integers(0, 99),
+    st.integers(0, 99),
+    st.sampled_from(["", "alpha", "beta", "rc1", "final"]),
+)
+
+
+@given(version_strategy, version_strategy)
+def test_ordering_is_antisymmetric(a, b):
+    if a < b:
+        assert not (b < a)
+    if a == b:
+        assert not (a < b) and not (b < a)
+
+
+@given(version_strategy, version_strategy, version_strategy)
+def test_ordering_is_transitive(a, b, c):
+    if a <= b and b <= c:
+        assert a <= c
+
+
+@given(version_strategy)
+def test_str_parse_roundtrip(v):
+    assert Version.parse(str(v)) == v
+
+
+class TestVersionRange:
+    def test_bare_version_is_unbounded_above(self):
+        r = VersionRange.parse("1.5")
+        assert r.includes("1.5.0")
+        assert r.includes("99.0.0")
+        assert not r.includes("1.4.9")
+
+    def test_inclusive_exclusive_brackets(self):
+        r = VersionRange.parse("[1.0,2.0)")
+        assert r.includes("1.0.0")
+        assert r.includes("1.9.9")
+        assert not r.includes("2.0.0")
+
+    def test_both_inclusive(self):
+        r = VersionRange.parse("[1.0,2.0]")
+        assert r.includes("2.0.0")
+
+    def test_both_exclusive(self):
+        r = VersionRange.parse("(1.0,2.0)")
+        assert not r.includes("1.0.0")
+        assert not r.includes("2.0.0")
+        assert r.includes("1.5.0")
+
+    def test_empty_ranges(self):
+        assert VersionRange.parse("(1.0,1.0)").is_empty()
+        assert VersionRange.parse("[2.0,1.0]").is_empty()
+        assert not VersionRange.parse("[1.0,1.0]").is_empty()
+
+    def test_any_version_includes_zero(self):
+        assert ANY_VERSION.includes("0.0.0")
+
+    def test_str_roundtrip(self):
+        for text in ["[1.0.0,2.0.0)", "(1.0.0,3.0.0]", "1.2.0"]:
+            assert str(VersionRange.parse(text)) == text
+
+    def test_idempotent_parse(self):
+        r = VersionRange.parse("[1.0,2.0)")
+        assert VersionRange.parse(r) is r
+
+    def test_equality_and_hash(self):
+        a = VersionRange.parse("[1.0,2.0)")
+        b = VersionRange.parse("[1.0,2.0)")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+@given(version_strategy, version_strategy, version_strategy)
+def test_range_membership_consistent_with_ordering(low, high, probe):
+    r = VersionRange(low, high, floor_inclusive=True, ceiling_inclusive=False)
+    expected = low <= probe < high
+    assert r.includes(probe) == expected

@@ -1,0 +1,125 @@
+"""EventAdmin topic routing."""
+
+import pytest
+
+from repro.services.eventadmin import (
+    EVENT_ADMIN_CLASS,
+    EventAdmin,
+    PlatformEvent,
+    eventadmin_bundle,
+)
+from repro.sim.eventloop import EventLoop
+
+
+@pytest.fixture
+def admin():
+    return EventAdmin()
+
+
+class TestTopics:
+    @pytest.mark.parametrize("bad", ["", "/x", "x/", "a//b"])
+    def test_invalid_topics_rejected(self, bad):
+        with pytest.raises(ValueError):
+            PlatformEvent(bad)
+
+    def test_exact_topic_delivery(self, admin):
+        seen = []
+        admin.subscribe("a/b", seen.append)
+        assert admin.send_event(PlatformEvent("a/b", {"k": 1})) == 1
+        assert seen[0].get("k") == 1
+        assert admin.send_event(PlatformEvent("a/c")) == 0
+
+    def test_wildcard_covers_subtree(self, admin):
+        seen = []
+        admin.subscribe("platform/*", seen.append)
+        admin.send_event(PlatformEvent("platform/node/failed"))
+        admin.send_event(PlatformEvent("platform"))
+        admin.send_event(PlatformEvent("other/topic"))
+        assert [e.topic for e in seen] == ["platform/node/failed", "platform"]
+
+    def test_universal_wildcard(self, admin):
+        seen = []
+        admin.subscribe("*", seen.append)
+        admin.send_event(PlatformEvent("anything/at/all"))
+        assert len(seen) == 1
+
+
+class TestFilters:
+    def test_property_filter_narrows(self, admin):
+        seen = []
+        admin.subscribe("sla/*", seen.append, filter="(severity>=3)")
+        admin.send_event(PlatformEvent("sla/violation", {"severity": 1}))
+        admin.send_event(PlatformEvent("sla/violation", {"severity": 5}))
+        assert len(seen) == 1
+        assert seen[0].get("severity") == 5
+
+
+class TestDelivery:
+    def test_broken_handler_does_not_block_others(self, admin):
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("handler bug")
+
+        admin.subscribe("t", broken)
+        admin.subscribe("t", seen.append)
+        assert admin.send_event(PlatformEvent("t")) == 2
+        assert len(seen) == 1
+
+    def test_unsubscribe(self, admin):
+        seen = []
+        subscription = admin.subscribe("t", seen.append)
+        subscription.unsubscribe()
+        subscription.unsubscribe()  # idempotent
+        admin.send_event(PlatformEvent("t"))
+        assert seen == []
+        assert admin.subscription_count == 0
+
+    def test_post_event_defers_to_loop(self):
+        loop = EventLoop()
+        admin = EventAdmin(loop)
+        seen = []
+        admin.subscribe("t", seen.append)
+        admin.post_event(PlatformEvent("t"))
+        assert seen == []  # not yet delivered
+        assert admin.posted_pending == 1
+        loop.run_for(0.0)
+        assert len(seen) == 1
+        assert admin.posted_pending == 0
+
+    def test_post_without_loop_raises(self, admin):
+        with pytest.raises(RuntimeError):
+            admin.post_event(PlatformEvent("t"))
+
+    def test_empty_pattern_rejected(self, admin):
+        with pytest.raises(ValueError):
+            admin.subscribe("", lambda e: None)
+
+
+def test_bundle_registers_service(framework):
+    framework.install(eventadmin_bundle()).start()
+    ref = framework.system_context.get_service_reference(EVENT_ADMIN_CLASS)
+    assert ref is not None
+
+
+def test_shared_across_virtual_instances(framework):
+    """The VOSGi composition: tenants exchange events through the host's
+    single EventAdmin, under explicit export."""
+    from repro.vosgi.delegation import ExportPolicy
+    from repro.vosgi.manager import InstanceManager
+
+    framework.install(eventadmin_bundle()).start()
+    manager = InstanceManager(framework)
+    exports = ExportPolicy(service_classes={EVENT_ADMIN_CLASS})
+    producer = manager.create_instance("producer", policy=exports)
+    consumer = manager.create_instance("consumer", policy=exports)
+
+    def admin_of(instance):
+        registry = instance.framework.registry
+        ref = registry.get_reference(EVENT_ADMIN_CLASS)
+        return registry.get_service(instance.framework.system_bundle, ref)
+
+    seen = []
+    admin_of(consumer).subscribe("orders/*", seen.append)
+    admin_of(producer).send_event(PlatformEvent("orders/new", {"id": 7}))
+    assert len(seen) == 1 and seen[0].get("id") == 7

@@ -1,0 +1,82 @@
+"""JMX-analogue platform MBeans."""
+
+import pytest
+
+from repro.osgi.definition import simple_bundle
+from repro.services.jmx import (
+    JMX_SERVICE_CLASS,
+    MBeanNotFound,
+    PlatformMBeanServer,
+    jmx_bundle,
+)
+from repro.vosgi.manager import instance_manager_bundle
+
+
+def jmx_of(framework):
+    ref = framework.system_context.get_service_reference(JMX_SERVICE_CLASS)
+    return framework.system_context.get_service(ref)
+
+
+def test_framework_mbean_reflects_live_state(framework):
+    framework.install(jmx_bundle()).start()
+    server = jmx_of(framework)
+    before = server.get_attribute("platform:type=Framework", "BundleCount")
+    framework.install(simple_bundle("extra")).start()
+    after = server.get_attribute("platform:type=Framework", "BundleCount")
+    assert after == before + 1
+    bundles = server.get_attribute("platform:type=Framework", "Bundles")
+    assert bundles["extra"] == "ACTIVE"
+
+
+def test_memory_mbean(framework):
+    framework.install(jmx_bundle()).start()
+    server = jmx_of(framework)
+    assert server.get_attribute("platform:type=Memory", "FootprintBytes") > 0
+
+
+def test_instances_mbean_present_with_instance_manager(framework):
+    framework.install(instance_manager_bundle()).start()
+    framework.install(jmx_bundle()).start()
+    server = jmx_of(framework)
+    assert "platform:type=Instances" in server.query_names("platform:")
+    from repro.vosgi.manager import INSTANCE_MANAGER_CLASS
+
+    manager = framework.system_context.get_service(
+        framework.system_context.get_service_reference(INSTANCE_MANAGER_CLASS)
+    )
+    manager.create_instance("acme")
+    assert server.get_attribute("platform:type=Instances", "Names") == ["acme"]
+    usage = server.get_attribute("platform:type=Instances", "Usage")
+    assert "acme" in usage
+
+
+def test_instances_mbean_absent_without_manager(framework):
+    framework.install(jmx_bundle()).start()
+    server = jmx_of(framework)
+    assert "platform:type=Instances" not in server.query_names()
+
+
+def test_unknown_names_raise():
+    server = PlatformMBeanServer()
+    with pytest.raises(MBeanNotFound):
+        server.get_attribute("no:such=bean", "X")
+    server.register_mbean("a:b=c", {"X": lambda: 1})
+    with pytest.raises(MBeanNotFound):
+        server.get_attribute("a:b=c", "Missing")
+    assert server.attributes_of("a:b=c") == ["X"]
+    with pytest.raises(MBeanNotFound):
+        server.attributes_of("gone")
+
+
+def test_duplicate_registration_rejected():
+    server = PlatformMBeanServer()
+    server.register_mbean("a:b=c", {})
+    with pytest.raises(ValueError):
+        server.register_mbean("a:b=c", {})
+
+
+def test_query_names_prefix():
+    server = PlatformMBeanServer()
+    server.register_mbean("platform:x=1", {})
+    server.register_mbean("tenant:y=2", {})
+    assert server.query_names("platform:") == ["platform:x=1"]

@@ -1,0 +1,53 @@
+"""Log service bundle."""
+
+import pytest
+
+from repro.services.log import (
+    LOG_ERROR,
+    LOG_INFO,
+    LOG_SERVICE_CLASS,
+    LogService,
+    log_bundle,
+)
+
+
+def test_bundle_registers_service(framework):
+    framework.install(log_bundle()).start()
+    ref = framework.system_context.get_service_reference(LOG_SERVICE_CLASS)
+    assert ref is not None
+
+
+def test_entries_recorded_with_source():
+    log = LogService()
+    log.info("hello", source="acme")
+    log.error("boom", source="globex")
+    assert len(log) == 2
+    assert str(log.entries()[1]) == "[ERROR] globex: boom"
+
+
+def test_severity_filter():
+    log = LogService()
+    log.info("fyi", "a")
+    log.error("bad", "a")
+    errors_only = log.entries(max_level=LOG_ERROR)
+    assert [e.message for e in errors_only] == ["bad"]
+
+
+def test_source_filter():
+    log = LogService()
+    log.info("one", "acme")
+    log.info("two", "globex")
+    assert [e.message for e in log.entries(source="acme")] == ["one"]
+
+
+def test_invalid_level_rejected():
+    with pytest.raises(ValueError):
+        LogService().log(9, "nope")
+
+
+def test_capacity_bounds_memory():
+    log = LogService(capacity=3)
+    for i in range(10):
+        log.info("m%d" % i)
+    assert len(log) == 3
+    assert [e.message for e in log.entries()] == ["m7", "m8", "m9"]

@@ -1,0 +1,87 @@
+"""The paper's §4 fidelity scenario, exactly as written.
+
+"We already tested it by running multiple virtual instances that use
+services from the underlying environment namely the log service, the HTTP
+service and the JMX server service."
+"""
+
+from repro.osgi.definition import BundleActivator, simple_bundle
+from repro.osgi.framework import Framework
+from repro.services import (
+    HTTP_SERVICE_CLASS,
+    JMX_SERVICE_CLASS,
+    LOG_SERVICE_CLASS,
+    http_service_bundle,
+    jmx_bundle,
+    log_bundle,
+)
+from repro.vosgi.delegation import ExportPolicy
+
+
+class PaperTenantActivator(BundleActivator):
+    """A tenant bundle using all three underlying services."""
+
+    def start(self, context):
+        name = context.get_property("vosgi.instance")
+        log = context.get_service(
+            context.get_service_reference(LOG_SERVICE_CLASS)
+        )
+        http = context.get_service(
+            context.get_service_reference(HTTP_SERVICE_CLASS)
+        )
+        jmx = context.get_service(
+            context.get_service_reference(JMX_SERVICE_CLASS)
+        )
+        log.info("starting", source=name)
+        http.register_servlet(
+            "/%s" % name, lambda request: "%s says hi" % name
+        )
+        self.peer_count = jmx.get_attribute("platform:type=Instances", "Count")
+        log.info("saw %d instances via JMX" % self.peer_count, source=name)
+
+    def stop(self, context):
+        pass
+
+
+def test_paper_scenario_three_base_services():
+    host = Framework("paper-host")
+    host.start()
+    host.install(log_bundle()).start()
+    host.install(http_service_bundle()).start()
+    from repro.vosgi.manager import instance_manager_bundle, INSTANCE_MANAGER_CLASS
+
+    host.install(instance_manager_bundle()).start()
+    host.install(jmx_bundle()).start()
+    manager = host.system_context.get_service(
+        host.system_context.get_service_reference(INSTANCE_MANAGER_CLASS)
+    )
+    exports = ExportPolicy(
+        service_classes={
+            LOG_SERVICE_CLASS,
+            HTTP_SERVICE_CLASS,
+            JMX_SERVICE_CLASS,
+        }
+    )
+    for name in ("acme", "globex", "initech"):
+        instance = manager.create_instance(name, policy=exports)
+        instance.install(
+            simple_bundle("app", activator_factory=PaperTenantActivator)
+        ).start()
+
+    # The single shared log saw every tenant.
+    log = host.system_context.get_service(
+        host.system_context.get_service_reference(LOG_SERVICE_CLASS)
+    )
+    sources = {entry.source for entry in log.entries()}
+    assert sources == {"acme", "globex", "initech"}
+
+    # The single shared HTTP service serves every tenant's servlet.
+    http = host.system_context.get_service(
+        host.system_context.get_service_reference(HTTP_SERVICE_CLASS)
+    )
+    assert http.dispatch("/globex", None) == (200, "globex says hi")
+
+    # Tenants introspected the platform through the shared JMX server.
+    app = manager.get("initech").get_bundle_by_name("app")
+    assert app._activator.peer_count == 3
+    host.stop()

@@ -1,0 +1,40 @@
+"""Clock invariants."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+def test_starts_at_zero_by_default():
+    assert Clock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert Clock(5.5).now == 5.5
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        Clock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = Clock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = Clock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_backwards_raises():
+    clock = Clock(2.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(1.0)
+
+
+def test_repr_mentions_time():
+    assert "1.5" in repr(Clock(1.5))

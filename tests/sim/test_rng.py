@@ -1,0 +1,39 @@
+"""Named random stream independence and determinism."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream_same_draws():
+    a = RngStreams(42).stream("net")
+    b = RngStreams(42).stream("net")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_independent_streams():
+    streams = RngStreams(42)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random()
+    b = RngStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RngStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_adding_streams_does_not_perturb_existing():
+    one = RngStreams(9)
+    first = one.stream("a")
+    draws_before = [first.random() for _ in range(3)]
+
+    two = RngStreams(9)
+    two.stream("zzz")  # extra stream created first
+    second = two.stream("a")
+    draws_after = [second.random() for _ in range(3)]
+    assert draws_before == draws_after

@@ -1,0 +1,42 @@
+"""SLA contract object."""
+
+import pytest
+
+from repro.sla.agreement import ServiceLevelAgreement
+
+
+def test_defaults():
+    sla = ServiceLevelAgreement("acme")
+    assert sla.cpu_share == 0.25
+    assert sla.availability_target == 0.99
+
+
+@pytest.mark.parametrize("share", [0.0, 1.5])
+def test_invalid_cpu_share(share):
+    with pytest.raises(ValueError):
+        ServiceLevelAgreement("acme", cpu_share=share)
+
+
+@pytest.mark.parametrize("target", [0.0, 1.1])
+def test_invalid_availability_target(target):
+    with pytest.raises(ValueError):
+        ServiceLevelAgreement("acme", availability_target=target)
+
+
+def test_quota_materialization():
+    sla = ServiceLevelAgreement("acme", cpu_share=0.3, memory_bytes=111, disk_bytes=222)
+    quota = sla.quota()
+    assert quota.cpu_share == 0.3
+    assert quota.memory_bytes == 111
+    assert quota.disk_bytes == 222
+
+
+def test_descriptor_materialization():
+    sla = ServiceLevelAgreement("acme", cpu_share=0.3, priority=4)
+    descriptor = sla.descriptor(
+        packages=("log",), services=("log.S",), bundle_count_hint=3
+    )
+    assert descriptor.name == "acme"
+    assert descriptor.packages == ("log",)
+    assert descriptor.priority == 4
+    assert descriptor.bundle_count_hint == 3

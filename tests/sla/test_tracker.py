@@ -1,0 +1,118 @@
+"""SLA compliance: availability timelines and violation accounting."""
+
+import pytest
+
+from repro.monitoring.monitor import UsageReport
+from repro.sla.agreement import ServiceLevelAgreement
+from repro.sla.tracker import SlaTracker
+
+
+def report(instance="acme", cpu_share=0.5, at=0.0, memory=None, disk=None):
+    return UsageReport(
+        instance=instance,
+        at=at,
+        window=1.0,
+        cpu_share=cpu_share,
+        cpu_seconds_total=cpu_share,
+        memory_bytes=memory,
+        disk_bytes=disk,
+        quota_cpu_share=0.2,
+        quota_memory_bytes=1000,
+        quota_disk_bytes=1000,
+    )
+
+
+@pytest.fixture
+def tracker():
+    return SlaTracker()
+
+
+@pytest.fixture
+def sla():
+    return ServiceLevelAgreement("acme", cpu_share=0.2, availability_target=0.95)
+
+
+def test_always_up_customer_fully_available(tracker, sla):
+    tracker.register(sla, at=0.0, up=True)
+    compliance = tracker.report("acme", now=100.0)
+    assert compliance.availability == pytest.approx(1.0)
+    assert compliance.availability_met
+
+
+def test_downtime_lowers_availability(tracker, sla):
+    tracker.register(sla, at=0.0, up=True)
+    tracker.mark_down("acme", at=10.0)
+    tracker.mark_up("acme", at=15.0)
+    compliance = tracker.report("acme", now=100.0)
+    assert compliance.downtime == pytest.approx(5.0)
+    assert compliance.availability == pytest.approx(0.95)
+
+
+def test_still_down_counts_until_now(tracker, sla):
+    tracker.register(sla, at=0.0, up=True)
+    tracker.mark_down("acme", at=50.0)
+    compliance = tracker.report("acme", now=100.0)
+    assert compliance.downtime == pytest.approx(50.0)
+    assert not compliance.availability_met
+
+
+def test_duplicate_transitions_ignored(tracker, sla):
+    tracker.register(sla, at=0.0, up=True)
+    tracker.mark_up("acme", at=1.0)  # already up
+    tracker.mark_down("acme", at=10.0)
+    tracker.mark_down("acme", at=20.0)  # already down
+    tracker.mark_up("acme", at=30.0)
+    compliance = tracker.report("acme", now=100.0)
+    assert compliance.downtime == pytest.approx(20.0)
+
+
+def test_unknown_customer_reports_raise(tracker):
+    with pytest.raises(KeyError):
+        tracker.report("ghost", now=1.0)
+    assert tracker.observe_report(report(instance="ghost")) == []
+
+
+def test_cpu_violation_recorded(tracker, sla):
+    tracker.register(sla, at=0.0, up=True)
+    violations = tracker.observe_report(report(cpu_share=0.5, at=5.0))
+    assert len(violations) == 1
+    assert violations[0].kind == "cpu"
+    assert violations[0].observed == 0.5
+    compliance = tracker.report("acme", now=10.0)
+    assert compliance.cpu_violations == 1
+
+
+def test_compliant_report_records_nothing(tracker, sla):
+    tracker.register(sla, at=0.0, up=True)
+    assert tracker.observe_report(report(cpu_share=0.1)) == []
+
+
+def test_memory_and_disk_violations(tracker, sla):
+    tracker.register(sla, at=0.0, up=True)
+    violations = tracker.observe_report(
+        report(cpu_share=0.0, memory=5000, disk=9999, at=1.0)
+    )
+    assert {v.kind for v in violations} == {"memory", "disk"}
+
+
+def test_reports_for_all_customers(tracker):
+    tracker.register(ServiceLevelAgreement("a"), at=0.0, up=True)
+    tracker.register(ServiceLevelAgreement("b"), at=0.0, up=True)
+    reports = tracker.reports(now=10.0)
+    assert [r.customer for r in reports] == ["a", "b"]
+
+
+def test_violations_listing(tracker, sla):
+    tracker.register(sla, at=0.0, up=True)
+    tracker.register(ServiceLevelAgreement("zeta", cpu_share=0.2), at=0.0, up=True)
+    tracker.observe_report(report(instance="acme", cpu_share=0.9, at=1.0))
+    tracker.observe_report(report(instance="zeta", cpu_share=0.9, at=2.0))
+    assert len(tracker.violations()) == 2
+    assert len(tracker.violations("acme")) == 1
+
+
+def test_registration_starting_down(tracker, sla):
+    tracker.register(sla, at=0.0, up=False)
+    tracker.mark_up("acme", at=4.0)
+    compliance = tracker.report("acme", now=10.0)
+    assert compliance.downtime == pytest.approx(4.0)

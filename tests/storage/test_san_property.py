@@ -1,0 +1,68 @@
+"""Property-based SAN round trips."""
+
+from hypothesis import given, strategies as st
+
+from repro.osgi.persistence import BundleRecord, FrameworkState
+from repro.storage.san import SharedStore
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(2**31), 2**31),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+bundle_records = st.builds(
+    BundleRecord,
+    location=st.text(min_size=1, max_size=30),
+    symbolic_name=st.text(min_size=1, max_size=20),
+    version=st.sampled_from(["1.0.0", "2.3.4", "0.0.1.beta"]),
+    autostart=st.booleans(),
+    start_level=st.integers(1, 10),
+)
+
+
+@given(st.lists(bundle_records, max_size=6), st.integers(0, 20))
+def test_framework_state_roundtrip(records, level):
+    store = SharedStore()
+    state = FrameworkState(bundles=records, start_level=level)
+    store.save_state("env", state)
+    loaded = store.load_state("env")
+    assert loaded.start_level == level
+    assert [b.to_dict() for b in loaded.bundles] == [
+        b.to_dict() for b in records
+    ]
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=10), json_values, max_size=6))
+def test_data_area_roundtrip(data):
+    store = SharedStore()
+    area = store.data_area("env", "bundle")
+    for key, value in data.items():
+        area[key] = value
+    fresh_view = store.data_area("env", "bundle")
+    for key, value in data.items():
+        assert fresh_view[key] == value
+    assert set(fresh_view) == set(data)
+
+
+@given(json_values)
+def test_written_values_isolated_from_caller_mutation(value):
+    store = SharedStore()
+    area = store.data_area("env", "bundle")
+    area["k"] = value
+    snapshot = area["k"]
+    if isinstance(snapshot, list):
+        snapshot.append("mutated")
+        assert area["k"] != snapshot
+    elif isinstance(snapshot, dict):
+        snapshot["mutated"] = True
+        assert area["k"] != snapshot
