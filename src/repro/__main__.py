@@ -1,13 +1,16 @@
-"""``python -m repro`` — a 60-second tour of the platform.
+"""``python -m repro`` — a 60-second tour, plus chaos campaigns.
 
-Builds a 3-node cluster, admits two customers (one with a warm standby),
-injects a crash, and prints the dependability story: who detected what,
-where everything landed, and the resulting SLA compliance.
+With no subcommand (or ``demo``): builds a 3-node cluster, admits two
+customers (one with a warm standby), injects a crash, and prints the
+dependability story. With ``chaos``: runs a seeded chaos campaign of
+random fault schedules with invariant checking (see docs/FAULTS.md) and
+prints a reproduction snippet for any violation.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro import __version__
 from repro.core import DependableEnvironment
@@ -15,6 +18,16 @@ from repro.sla import ServiceLevelAgreement
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
+    if argv and argv[0] == "demo":
+        argv = argv[1:]
+    return demo_main(argv)
+
+
+def demo_main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Dependable Distributed OSGi Environment — demo run",
@@ -64,6 +77,72 @@ def main(argv=None) -> int:
     for report in env.compliance():
         print(" ", report)
     return 0
+
+
+def chaos_main(argv=None) -> int:
+    from repro.faults import ChaosCampaign
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Seeded chaos campaign with invariant checking",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--episodes", type=int, default=3)
+    parser.add_argument(
+        "--duration", type=float, default=30.0, help="sim-seconds per episode"
+    )
+    parser.add_argument(
+        "--settle", type=float, default=10.0, help="quiesce window per episode"
+    )
+    parser.add_argument(
+        "--mean-gap", type=float, default=4.0, help="mean sim-seconds between faults"
+    )
+    parser.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated fault kinds (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.episodes < 1:
+        parser.error("--episodes must be at least 1")
+    kinds = None
+    if args.kinds:
+        from repro.faults import FAULT_KINDS
+
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+        unknown = sorted(set(kinds) - set(FAULT_KINDS))
+        if unknown:
+            parser.error(
+                "unknown fault kinds %s (choose from %s)"
+                % (",".join(unknown), ",".join(FAULT_KINDS))
+            )
+    campaign = ChaosCampaign(
+        seed=args.seed,
+        episodes=args.episodes,
+        episode_duration=args.duration,
+        settle=args.settle,
+        mean_gap=args.mean_gap,
+        kinds=kinds,
+    )
+    print(
+        "repro %s — chaos campaign seed=%d episodes=%d duration=%.1fs"
+        % (__version__, args.seed, args.episodes, args.duration)
+    )
+    result = campaign.run()
+    for episode in result.episodes:
+        print(" ", episode)
+        for entry in episode.trace:
+            print("    ", entry)
+        for violation in episode.violations:
+            print("    !!", violation)
+    print("campaign trace digest:", result.trace_digest())
+    if result.ok:
+        print("all invariants held across %d episodes" % len(result.episodes))
+        return 0
+    print("\n%d invariant violations; reproduction:" % len(result.violations))
+    print(result.snippets[0])
+    return 1
 
 
 if __name__ == "__main__":

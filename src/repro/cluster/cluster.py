@@ -92,6 +92,9 @@ class Cluster:
     def alive_nodes(self) -> List[Node]:
         return [n for n in self.nodes() if n.alive]
 
+    def failed_nodes(self) -> List[Node]:
+        return [n for n in self.nodes() if n.state == NodeState.FAILED]
+
     # ------------------------------------------------------------------
     def run_for(self, duration: float) -> int:
         """Advance virtual time."""

@@ -1,0 +1,297 @@
+"""Chaos campaigns: N seeded episodes, invariants checked throughout.
+
+A campaign derives one sub-seed per episode from its root seed, builds a
+fresh scenario (a :class:`~repro.core.environment.DependableEnvironment`)
+for it, draws a random :class:`~repro.faults.schedule.FaultSchedule` from
+the cluster's dedicated ``"faults"`` RNG stream, and runs the episode with
+``always`` invariants checked at a fixed sim-time interval. After the
+episode the injector quiesces, failed nodes are (optionally) repaired, the
+cluster settles, and the *full* invariant catalog — including the
+``quiescent`` convergence checks — gets a final evaluation.
+
+Running the same campaign twice produces byte-identical fault traces and
+invariant results; on a violation, :meth:`CampaignResult.repro_snippet`
+emits a paste-able reproduction (seed + schedule) for a regression test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantRegistry,
+    Violation,
+    default_invariants,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.faults.trace import FaultTrace
+
+
+def derive_episode_seed(root_seed: int, index: int) -> int:
+    """Stable per-episode seed: hashing keeps episodes independent and
+    adding episodes never changes the seeds of earlier ones."""
+    material = ("%d/episode/%d" % (root_seed, index)).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+def default_scenario(seed: int) -> Any:
+    """A 3-node platform with two customers and an exposed service.
+
+    The standard chaos target: enough moving parts (GCS group, migration,
+    SLA accounting, ipvs routing with background traffic) to exercise the
+    whole invariant catalog, small enough to stay fast.
+    """
+    from repro.core import DependableEnvironment
+    from repro.ipvs.addressing import IpEndpoint
+    from repro.sla import ServiceLevelAgreement
+
+    env = DependableEnvironment.build(node_count=3, seed=seed)
+    for name, share in (("acme", 0.25), ("globex", 0.25)):
+        completion = env.admit_customer(
+            ServiceLevelAgreement(name, cpu_share=share, availability_target=0.9)
+        )
+        env.cluster.run_until_settled([completion])
+    env.run_for(1.0)
+    endpoint = IpEndpoint("10.0.0.80", 80)
+    env.expose_service("acme", endpoint, service_time=0.005)
+
+    def pump() -> None:
+        env.director.submit(endpoint, client="chaos-client")
+        env.loop.call_after(0.5, pump, label="chaos-traffic")
+
+    env.loop.call_after(0.5, pump, label="chaos-traffic")
+    return env
+
+
+def replay_schedule(
+    env: Any,
+    schedule: FaultSchedule,
+    duration: float,
+    settle: float = 10.0,
+    check_interval: float = 0.5,
+    registry: Optional[InvariantRegistry] = None,
+    repair: bool = True,
+) -> Tuple[FaultTrace, List[Violation]]:
+    """Run ``schedule`` against ``env`` exactly as a campaign episode does.
+
+    The building block of reproduction snippets: given the same scenario
+    seed and schedule it reproduces the episode's trace and violations.
+    """
+    checker = InvariantChecker(env, registry or default_invariants())
+    injector = FaultInjector(env.cluster, schedule, env=env)
+    injector.arm()
+    checker.arm(check_interval)
+    env.run_for(duration)
+    injector.quiesce()
+    if repair:
+        for node in env.cluster.failed_nodes():
+            env.repair_node(node.node_id)
+    env.run_for(settle)
+    checker.check_now(mode=None)
+    checker.stop()
+    return injector.trace, checker.violations
+
+
+@dataclass
+class Episode:
+    """Everything one chaos episode produced."""
+
+    index: int
+    seed: int
+    schedule: FaultSchedule
+    trace: FaultTrace
+    violations: List[Violation]
+    checks_run: int
+    invariant_names: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def digest(self) -> str:
+        return self.trace.digest()
+
+    def __repr__(self) -> str:
+        return "Episode(#%d seed=%d, %d faults, %d checks, %s)" % (
+            self.index,
+            self.seed,
+            len(self.schedule),
+            self.checks_run,
+            "ok" if self.ok else "%d VIOLATIONS" % len(self.violations),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a whole campaign."""
+
+    seed: int
+    episodes: List[Episode]
+    snippets: List[str] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[Violation]:
+        out: List[Violation] = []
+        for episode in self.episodes:
+            out.extend(episode.violations)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def trace_digest(self) -> str:
+        """One fingerprint over every episode trace, order-sensitive."""
+        joined = "\n".join(e.digest() for e in self.episodes)
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:
+        return "CampaignResult(seed=%d, %d episodes, %s)" % (
+            self.seed,
+            len(self.episodes),
+            "ok" if self.ok else "%d violations" % len(self.violations),
+        )
+
+
+ScheduleFactory = Callable[[Any, Sequence[str], float], FaultSchedule]
+
+
+class ChaosCampaign:
+    """Runs ``episodes`` seeded chaos episodes against a scenario factory.
+
+    Parameters
+    ----------
+    scenario_factory:
+        ``seed -> DependableEnvironment``. Must build everything the
+        episode needs (customers, services, traffic); called once per
+        episode with the derived episode seed.
+    seed:
+        Root seed. Episode ``i`` uses :func:`derive_episode_seed`.
+    schedule_factory:
+        Optional ``(rng, node_ids, duration) -> FaultSchedule`` override;
+        the default draws :meth:`FaultSchedule.random` restricted to
+        ``kinds`` (all kinds when None).
+    """
+
+    def __init__(
+        self,
+        scenario_factory: Callable[[int], Any] = default_scenario,
+        seed: int = 0,
+        episodes: int = 3,
+        episode_duration: float = 30.0,
+        settle: float = 10.0,
+        check_interval: float = 0.5,
+        mean_gap: float = 4.0,
+        kinds: Optional[Sequence[str]] = None,
+        registry_factory: Callable[[], InvariantRegistry] = default_invariants,
+        schedule_factory: Optional[ScheduleFactory] = None,
+        repair_failed: bool = True,
+    ) -> None:
+        if episodes < 1:
+            raise ValueError("need at least one episode")
+        self.scenario_factory = scenario_factory
+        self.seed = seed
+        self.episodes = episodes
+        self.episode_duration = episode_duration
+        self.settle = settle
+        self.check_interval = check_interval
+        self.mean_gap = mean_gap
+        self.kinds = kinds
+        self.registry_factory = registry_factory
+        self.schedule_factory = schedule_factory
+        self.repair_failed = repair_failed
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        result = CampaignResult(self.seed, [])
+        for index in range(self.episodes):
+            episode = self.run_episode(index)
+            result.episodes.append(episode)
+            if not episode.ok:
+                result.snippets.append(self.repro_snippet(episode))
+        return result
+
+    def run_episode(self, index: int) -> Episode:
+        episode_seed = derive_episode_seed(self.seed, index)
+        env = self.scenario_factory(episode_seed)
+        node_ids = [n.node_id for n in env.cluster.nodes()]
+        rng = env.cluster.rng.stream("faults")
+        if self.schedule_factory is not None:
+            schedule = self.schedule_factory(rng, node_ids, self.episode_duration)
+        else:
+            schedule = FaultSchedule.random(
+                rng,
+                self.episode_duration,
+                node_ids,
+                mean_gap=self.mean_gap,
+                kinds=self.kinds,
+            )
+        registry = self.registry_factory()
+        trace, violations = replay_schedule(
+            env,
+            schedule,
+            duration=self.episode_duration,
+            settle=self.settle,
+            check_interval=self.check_interval,
+            registry=registry,
+            repair=self.repair_failed,
+        )
+        checks = max(
+            1, int(self.episode_duration / self.check_interval)
+        )  # informational; exact count lives on the checker
+        return Episode(
+            index=index,
+            seed=episode_seed,
+            schedule=schedule,
+            trace=trace,
+            violations=violations,
+            checks_run=checks,
+            invariant_names=registry.names(),
+        )
+
+    # ------------------------------------------------------------------
+    def repro_snippet(self, episode: Episode) -> str:
+        """Python source that replays ``episode`` standalone.
+
+        Suitable for pasting into ``tests/`` as a regression test body.
+        When the scenario factory is a module-level callable the snippet
+        imports it; otherwise a placeholder marks the substitution point.
+        """
+        factory = self.scenario_factory
+        module = getattr(factory, "__module__", "")
+        qualname = getattr(factory, "__qualname__", "")
+        if module and qualname and "<" not in qualname and "." not in qualname:
+            scenario_import = "from %s import %s as scenario" % (module, qualname)
+        else:
+            scenario_import = (
+                "scenario = ...  # substitute your scenario factory (seed -> env)"
+            )
+        return "\n".join(
+            [
+                "# Chaos reproduction: campaign seed=%d, episode %d"
+                % (self.seed, episode.index),
+                "# trace digest: %s" % episode.digest(),
+                "from repro.faults import FaultSchedule, replay_schedule",
+                scenario_import,
+                "",
+                "schedule = %s" % episode.schedule.to_snippet(),
+                "env = scenario(%d)" % episode.seed,
+                "trace, violations = replay_schedule(",
+                "    env, schedule, duration=%r, settle=%r, check_interval=%r,"
+                % (self.episode_duration, self.settle, self.check_interval),
+                "    repair=%r)" % self.repair_failed,
+                "assert not violations, violations",
+                "",
+            ]
+        )
+
+    def __repr__(self) -> str:
+        return "ChaosCampaign(seed=%d, episodes=%d, duration=%.1fs)" % (
+            self.seed,
+            self.episodes,
+            self.episode_duration,
+        )

@@ -1,0 +1,308 @@
+"""Fault schedules: scripted or seeded-random timelines of adversity.
+
+A schedule is data, not behaviour: an ordered tuple of
+:class:`FaultAction` values that the :class:`~repro.faults.injector.
+FaultInjector` executes on the event loop. Keeping it plain data buys the
+two properties chaos testing needs — schedules serialize into regression
+tests, and :meth:`FaultSchedule.random` derives the whole timeline from a
+single ``random.Random`` stream so a campaign is replayable from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: The supported fault kinds.
+CRASH = "crash"  # fail-stop a node (Node.fail via the environment)
+REPAIR = "repair"  # boot a FAILED node back into the platform
+PARTITION = "partition"  # split the network along node-id groups
+HEAL = "heal"  # remove every partition
+LOSS_BURST = "loss_burst"  # raise Network.loss_rate for a while
+SLOW_NODE = "slow_node"  # add one-way latency to one node's traffic
+CLOCK_SKEW = "clock_skew"  # scale one node's GCS timer rate for a while
+
+FAULT_KINDS = (CRASH, REPAIR, PARTITION, HEAL, LOSS_BURST, SLOW_NODE, CLOCK_SKEW)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One fault, to be executed at absolute virtual time ``at``.
+
+    ``args`` is a sorted tuple of (key, value) pairs so that actions are
+    hashable, order-stable and render identically run after run.
+    """
+
+    at: float
+    kind: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind: %r" % self.kind)
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative: %r" % self.at)
+        object.__setattr__(self, "args", tuple(sorted(self.args)))
+
+    def arg(self, name: str, default: Any = None) -> Any:
+        for key, value in self.args:
+            if key == name:
+                return value
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at": self.at, "kind": self.kind, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultAction":
+        args = tuple(sorted(_listify(data.get("args", {})).items()))
+        return cls(float(data["at"]), str(data["kind"]), args)
+
+    def __str__(self) -> str:
+        rendered = ", ".join("%s=%r" % (k, v) for k, v in self.args)
+        return "%.3f %s(%s)" % (self.at, self.kind, rendered)
+
+
+def _listify(args: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalise JSON-decoded argument values (lists stay lists)."""
+    out: Dict[str, Any] = {}
+    for key, value in args.items():
+        if isinstance(value, list):
+            out[key] = tuple(tuple(v) if isinstance(v, list) else v for v in value)
+        else:
+            out[key] = value
+    return out
+
+
+class FaultSchedule:
+    """An immutable, time-ordered sequence of fault actions."""
+
+    def __init__(self, actions: Sequence[FaultAction] = ()) -> None:
+        self.actions: Tuple[FaultAction, ...] = tuple(
+            sorted(actions, key=lambda a: (a.at, a.kind, a.args))
+        )
+
+    # ------------------------------------------------------------------
+    # Scripted construction (builder style; each call returns a new
+    # schedule so partially-built schedules can be shared safely).
+    # ------------------------------------------------------------------
+    def _with(self, action: FaultAction) -> "FaultSchedule":
+        return FaultSchedule(self.actions + (action,))
+
+    def crash(self, at: float, node: str) -> "FaultSchedule":
+        return self._with(FaultAction(at, CRASH, (("node", node),)))
+
+    def repair(self, at: float, node: str) -> "FaultSchedule":
+        return self._with(FaultAction(at, REPAIR, (("node", node),)))
+
+    def partition(
+        self, at: float, *groups: Sequence[str]
+    ) -> "FaultSchedule":
+        frozen = tuple(tuple(sorted(g)) for g in groups)
+        return self._with(FaultAction(at, PARTITION, (("groups", frozen),)))
+
+    def heal(self, at: float) -> "FaultSchedule":
+        return self._with(FaultAction(at, HEAL))
+
+    def loss_burst(
+        self, at: float, rate: float, duration: float
+    ) -> "FaultSchedule":
+        return self._with(
+            FaultAction(
+                at, LOSS_BURST, (("rate", rate), ("duration", duration))
+            )
+        )
+
+    def slow_node(
+        self, at: float, node: str, extra: float, duration: float
+    ) -> "FaultSchedule":
+        return self._with(
+            FaultAction(
+                at,
+                SLOW_NODE,
+                (("node", node), ("extra", extra), ("duration", duration)),
+            )
+        )
+
+    def clock_skew(
+        self, at: float, node: str, factor: float, duration: float
+    ) -> "FaultSchedule":
+        return self._with(
+            FaultAction(
+                at,
+                CLOCK_SKEW,
+                (("node", node), ("factor", factor), ("duration", duration)),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Seeded-random construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        rng: random.Random,
+        duration: float,
+        node_ids: Sequence[str],
+        mean_gap: float = 4.0,
+        start_after: float = 1.0,
+        kinds: Optional[Sequence[str]] = None,
+        max_crashed: Optional[int] = None,
+    ) -> "FaultSchedule":
+        """Draw a random timeline from ``rng`` over ``[start_after, duration)``.
+
+        Every draw comes from the single ``rng`` passed in (campaigns hand
+        over a dedicated :class:`~repro.sim.rng.RngStreams` stream), so the
+        schedule is a pure function of the seed. ``max_crashed`` bounds how
+        many nodes the schedule may hold down at once (default: all but
+        one, so the cluster always has a survivor to degrade onto).
+        """
+        node_ids = sorted(node_ids)
+        if not node_ids:
+            raise ValueError("need at least one node id")
+        if max_crashed is None:
+            max_crashed = max(1, len(node_ids) - 1)
+        weights = _kind_weights(kinds)
+        actions: List[FaultAction] = []
+        down: set = set()
+        partitioned = False
+        t = start_after + rng.expovariate(1.0 / mean_gap)
+        while t < duration:
+            kind = _weighted_choice(rng, weights)
+            action = _random_action(
+                rng, t, kind, node_ids, down, partitioned, max_crashed
+            )
+            if action is not None:
+                actions.append(action)
+                if action.kind == CRASH:
+                    down.add(action.arg("node"))
+                elif action.kind == REPAIR:
+                    down.discard(action.arg("node"))
+                elif action.kind == PARTITION:
+                    partitioned = True
+                elif action.kind == HEAL:
+                    partitioned = False
+            t += rng.expovariate(1.0 / mean_gap)
+        return cls(actions)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [a.to_dict() for a in self.actions]
+
+    @classmethod
+    def from_dicts(cls, data: Sequence[Dict[str, Any]]) -> "FaultSchedule":
+        return cls([FaultAction.from_dict(d) for d in data])
+
+    def to_snippet(self, indent: str = "    ") -> str:
+        """Render python source that rebuilds this exact schedule."""
+        lines = ["FaultSchedule.from_dicts(["]
+        for action in self.actions:
+            lines.append("%s%r," % (indent, action.to_dict()))
+        lines.append("])")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[FaultAction]:
+        return iter(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self.actions == other.actions
+
+    def __hash__(self) -> int:
+        return hash(self.actions)
+
+    def __repr__(self) -> str:
+        return "FaultSchedule(%d actions over %.1fs)" % (
+            len(self.actions),
+            self.actions[-1].at if self.actions else 0.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# Random-generation helpers
+# ----------------------------------------------------------------------
+_DEFAULT_WEIGHTS = (
+    (CRASH, 0.28),
+    (REPAIR, 0.22),
+    (PARTITION, 0.14),
+    (HEAL, 0.14),
+    (LOSS_BURST, 0.10),
+    (SLOW_NODE, 0.07),
+    (CLOCK_SKEW, 0.05),
+)
+
+
+def _kind_weights(kinds: Optional[Sequence[str]]) -> List[Tuple[str, float]]:
+    if kinds is None:
+        return list(_DEFAULT_WEIGHTS)
+    chosen = [(k, w) for k, w in _DEFAULT_WEIGHTS if k in set(kinds)]
+    if not chosen:
+        raise ValueError("no known fault kinds in %r" % (kinds,))
+    return chosen
+
+
+def _weighted_choice(rng: random.Random, weights: List[Tuple[str, float]]) -> str:
+    total = sum(w for _, w in weights)
+    draw = rng.random() * total
+    for kind, weight in weights:
+        draw -= weight
+        if draw <= 0:
+            return kind
+    return weights[-1][0]
+
+
+def _random_action(
+    rng: random.Random,
+    at: float,
+    kind: str,
+    node_ids: Sequence[str],
+    down: set,
+    partitioned: bool,
+    max_crashed: int,
+) -> Optional[FaultAction]:
+    schedule = FaultSchedule()
+    if kind == CRASH:
+        up = [n for n in node_ids if n not in down]
+        if len(down) >= max_crashed or not up:
+            return None
+        return schedule.crash(at, rng.choice(up)).actions[0]
+    if kind == REPAIR:
+        if not down:
+            return None
+        return schedule.repair(at, rng.choice(sorted(down))).actions[0]
+    if kind == PARTITION:
+        if partitioned or len(node_ids) < 2:
+            return None
+        cut = rng.randint(1, len(node_ids) - 1)
+        shuffled = list(node_ids)
+        rng.shuffle(shuffled)
+        return schedule.partition(at, shuffled[:cut], shuffled[cut:]).actions[0]
+    if kind == HEAL:
+        if not partitioned:
+            return None
+        return schedule.heal(at).actions[0]
+    if kind == LOSS_BURST:
+        rate = round(0.05 + rng.random() * 0.25, 3)
+        duration = round(0.5 + rng.random() * 3.0, 3)
+        return schedule.loss_burst(at, rate, duration).actions[0]
+    if kind == SLOW_NODE:
+        extra = round(0.01 + rng.random() * 0.2, 4)
+        duration = round(1.0 + rng.random() * 4.0, 3)
+        return schedule.slow_node(
+            at, rng.choice(list(node_ids)), extra, duration
+        ).actions[0]
+    if kind == CLOCK_SKEW:
+        factor = round(rng.choice([0.5, 0.75, 1.5, 2.0, 3.0]), 3)
+        duration = round(1.0 + rng.random() * 4.0, 3)
+        return schedule.clock_skew(
+            at, rng.choice(list(node_ids)), factor, duration
+        ).actions[0]
+    raise AssertionError("unreachable kind %r" % kind)

@@ -1,0 +1,63 @@
+"""Fault traces: the byte-stable record of what an injector actually did.
+
+A schedule says what *should* happen; the trace says what *did* — an
+action can be skipped (crashing an already-dead node) and timed restores
+(loss burst end, skew end) appear as their own entries. Two runs of the
+same seed must produce byte-identical traces; :meth:`FaultTrace.digest`
+is the cheap way to assert that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed (or skipped) fault action."""
+
+    at: float
+    kind: str
+    detail: str
+
+    def line(self) -> str:
+        return "%.6f %s %s" % (self.at, self.kind, self.detail)
+
+    def __str__(self) -> str:
+        return self.line()
+
+
+class FaultTrace:
+    """Append-only record of injector activity for one episode."""
+
+    def __init__(self) -> None:
+        self.entries: List[TraceEntry] = []
+
+    def record(self, at: float, kind: str, detail: str) -> TraceEntry:
+        entry = TraceEntry(at, kind, detail)
+        self.entries.append(entry)
+        return entry
+
+    def lines(self) -> List[str]:
+        return [e.line() for e in self.entries]
+
+    def text(self) -> str:
+        return "\n".join(self.lines())
+
+    def digest(self) -> str:
+        """SHA-256 over the rendered trace — the replay fingerprint."""
+        return hashlib.sha256(self.text().encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __repr__(self) -> str:
+        return "FaultTrace(%d entries, %s)" % (
+            len(self.entries),
+            self.digest()[:12],
+        )

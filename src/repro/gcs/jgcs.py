@@ -82,6 +82,14 @@ class Protocol:
         for member in self._members.values():
             member.crash()
 
+    def members(self) -> List[GroupMember]:
+        """Snapshot of this node's group members, sorted by group name.
+
+        Read-only introspection surface for invariant checkers and the
+        fault injector (clock-skew perturbs member timers through it).
+        """
+        return [self._members[g] for g in sorted(self._members)]
+
     def __repr__(self) -> str:
         return "Protocol(%s, groups=%s)" % (self.node_id, sorted(self._members))
 

@@ -173,6 +173,16 @@ class VirtualServer:
     def services(self) -> List[IpEndpoint]:
         return [IpEndpoint(ip, port) for ip, port in sorted(self._services)]
 
+    def all_real_servers(self) -> List[Tuple[IpEndpoint, RealServer]]:
+        """Every (service endpoint, real server) pair, deterministically
+        ordered — the surface invariant checkers audit for dead routing."""
+        out: List[Tuple[IpEndpoint, RealServer]] = []
+        for ip, port in sorted(self._services):
+            _, servers = self._services[(ip, port)]
+            for server in servers:
+                out.append((IpEndpoint(ip, port), server))
+        return out
+
     def mark_node(self, node_id: str, alive: bool) -> int:
         """Health update: flip every real server hosted on ``node_id``."""
         touched = 0
@@ -317,6 +327,13 @@ class DirectorCluster:
     def mark_node(self, node_id: str, alive: bool) -> None:
         for director in self.directors:
             director.mark_node(node_id, alive)
+
+    def all_real_servers(self) -> List[Tuple[IpEndpoint, RealServer]]:
+        """Union of every replica's (endpoint, real server) pairs."""
+        out: List[Tuple[IpEndpoint, RealServer]] = []
+        for director in self.directors:
+            out.extend(director.all_real_servers())
+        return out
 
     def watch_node(self, node: Node) -> None:
         """Track a cluster node's health automatically."""

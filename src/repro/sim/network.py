@@ -122,6 +122,9 @@ class Network:
         self._endpoints: Dict[str, Endpoint] = {}
         self._links: Dict[Tuple[str, str], _Link] = {}
         self._partitions: List[FrozenSet[str]] = []
+        self._node_partitions: List[FrozenSet[str]] = []
+        #: node id -> extra one-way latency applied to its traffic.
+        self._node_latency: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -157,15 +160,49 @@ class Network:
         """
         self._partitions = [frozenset(g) for g in groups]
 
+    def partition_nodes(self, *groups: Set[str]) -> None:
+        """Split the network by *node id* rather than endpoint name.
+
+        Endpoint names follow the ``prefix/.../node_id`` convention (the
+        last ``/``-separated segment names the owning node; a bare name is
+        its own node id). Node partitions survive endpoint churn: an
+        endpoint attached *after* the partition — e.g. the fresh GCS
+        identity of a repaired node — is still confined to its node's
+        side. Replaces any previous node-partition layout; coexists with
+        endpoint-level :meth:`partition`.
+        """
+        self._node_partitions = [frozenset(g) for g in groups]
+
+    @property
+    def partitioned(self) -> bool:
+        """True while any partition (endpoint- or node-level) is active."""
+        return bool(self._partitions or self._node_partitions)
+
     def heal(self) -> None:
-        """Remove all partitions."""
+        """Remove all partitions (endpoint- and node-level)."""
         self._partitions = []
+        self._node_partitions = []
+
+    @staticmethod
+    def node_of(endpoint_name: str) -> str:
+        """Owning node id of an endpoint: the last path segment."""
+        return endpoint_name.rsplit("/", 1)[-1]
 
     def _partitioned(self, a: str, b: str) -> bool:
-        if not self._partitions:
+        if self._split_by(self._partitions, a, b):
+            return True
+        if self._node_partitions and self._split_by(
+            self._node_partitions, self.node_of(a), self.node_of(b)
+        ):
+            return True
+        return False
+
+    @staticmethod
+    def _split_by(partitions: List[FrozenSet[str]], a: str, b: str) -> bool:
+        if not partitions:
             return False
         group_of: Dict[str, int] = {}
-        for i, group in enumerate(self._partitions):
+        for i, group in enumerate(partitions):
             for member in group:
                 group_of[member] = i
         ga = group_of.get(a)
@@ -173,6 +210,31 @@ class Network:
         if ga is None and gb is None:
             return False
         return ga != gb
+
+    # ------------------------------------------------------------------
+    # Per-node latency (slow-node fault model)
+    # ------------------------------------------------------------------
+    def set_node_latency(self, node_id: str, extra: float) -> None:
+        """Add ``extra`` seconds of one-way delay to ``node_id``'s traffic.
+
+        Applied to every message whose source or destination endpoint
+        belongs to the node (per :meth:`node_of`); a message between two
+        slow nodes pays both penalties. Models an overloaded/thermally
+        throttled machine rather than a slow link.
+        """
+        if extra < 0:
+            raise ValueError("extra latency must be non-negative: %r" % extra)
+        self._node_latency[node_id] = extra
+
+    def clear_node_latency(self, node_id: str) -> None:
+        self._node_latency.pop(node_id, None)
+
+    def _extra_latency(self, source: str, destination: str) -> float:
+        if not self._node_latency:
+            return 0.0
+        return self._node_latency.get(
+            self.node_of(source), 0.0
+        ) + self._node_latency.get(self.node_of(destination), 0.0)
 
     # ------------------------------------------------------------------
     # Transfer
@@ -191,6 +253,7 @@ class Network:
             self.stats.dropped_loss += 1
             return
         delay = self.latency + (self._rng.random() * self.jitter if self.jitter else 0.0)
+        delay += self._extra_latency(source, destination)
         link = self._links.setdefault((source, destination), _Link())
         deliver_at = max(self.loop.clock.now + delay, link.next_free_at)
         link.next_free_at = deliver_at

@@ -98,6 +98,9 @@ class SlaTracker:
     def known(self, customer: str) -> bool:
         return customer in self._customers
 
+    def customer_names(self) -> List[str]:
+        return sorted(self._customers)
+
     def sla_of(self, customer: str) -> Optional[ServiceLevelAgreement]:
         timeline = self._customers.get(customer)
         return timeline.sla if timeline else None

@@ -18,13 +18,41 @@ def loop() -> EventLoop:
 
 
 @pytest.fixture
-def network(loop: EventLoop) -> Network:
-    return Network(loop, RngStreams(1234))
+def make_network(loop: EventLoop):
+    """Factory for networks on the shared ``loop`` fixture.
+
+    Keyword arguments mirror :class:`Network`'s; ``seed`` builds the
+    default ``RngStreams(seed)`` when no ``rng`` is passed. The plain
+    ``network``/``lossy_network`` fixtures and the fault-injection tests
+    all construct through this single point.
+    """
+
+    def factory(
+        seed: int = 1234,
+        rng: RngStreams = None,
+        latency: float = 0.001,
+        jitter: float = 0.0005,
+        loss_rate: float = 0.0,
+    ) -> Network:
+        return Network(
+            loop,
+            rng if rng is not None else RngStreams(seed),
+            latency=latency,
+            jitter=jitter,
+            loss_rate=loss_rate,
+        )
+
+    return factory
 
 
 @pytest.fixture
-def lossy_network(loop: EventLoop) -> Network:
-    return Network(loop, RngStreams(1234), loss_rate=0.1)
+def network(make_network) -> Network:
+    return make_network()
+
+
+@pytest.fixture
+def lossy_network(make_network) -> Network:
+    return make_network(loss_rate=0.1)
 
 
 @pytest.fixture

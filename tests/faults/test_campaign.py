@@ -1,0 +1,139 @@
+"""ChaosCampaign: seeded episodes, determinism, repro snippets."""
+
+import pytest
+
+from repro.faults.campaign import (
+    CampaignResult,
+    ChaosCampaign,
+    Episode,
+    default_scenario,
+    derive_episode_seed,
+    replay_schedule,
+)
+from repro.faults.schedule import CRASH, REPAIR, FaultSchedule
+
+
+def quick_campaign(**overrides) -> ChaosCampaign:
+    """A campaign small enough for the unit-test tier."""
+    settings = dict(
+        seed=7,
+        episodes=2,
+        episode_duration=8.0,
+        settle=5.0,
+        check_interval=1.0,
+        mean_gap=2.5,
+    )
+    settings.update(overrides)
+    return ChaosCampaign(**settings)
+
+
+def test_episode_seeds_are_stable_and_independent():
+    assert derive_episode_seed(7, 0) == derive_episode_seed(7, 0)
+    assert derive_episode_seed(7, 0) != derive_episode_seed(7, 1)
+    assert derive_episode_seed(7, 0) != derive_episode_seed(8, 0)
+
+
+def test_campaign_requires_at_least_one_episode():
+    with pytest.raises(ValueError):
+        ChaosCampaign(episodes=0)
+
+
+def test_campaign_runs_all_episodes():
+    result = quick_campaign().run()
+    assert isinstance(result, CampaignResult)
+    assert [e.index for e in result.episodes] == [0, 1]
+    for episode in result.episodes:
+        assert isinstance(episode, Episode)
+        assert episode.seed == derive_episode_seed(7, episode.index)
+        assert len(episode.trace.entries) >= 1  # at least the quiesce marker
+        assert len(episode.invariant_names) >= 5
+
+
+def test_same_seed_twice_is_byte_identical():
+    first = quick_campaign().run()
+    second = quick_campaign().run()
+    assert first.trace_digest() == second.trace_digest()
+    for a, b in zip(first.episodes, second.episodes):
+        assert a.trace.text() == b.trace.text()
+        assert a.schedule == b.schedule
+        assert [str(v) for v in a.violations] == [str(v) for v in b.violations]
+
+
+def test_different_seed_changes_the_traces():
+    assert (
+        quick_campaign(seed=7).run().trace_digest()
+        != quick_campaign(seed=8).run().trace_digest()
+    )
+
+
+def test_kind_restriction_reaches_the_schedules():
+    result = quick_campaign(kinds=[CRASH, REPAIR], mean_gap=1.5).run()
+    kinds = {a.kind for e in result.episodes for a in e.schedule}
+    assert kinds, "expected some scheduled faults"
+    assert kinds <= {CRASH, REPAIR}
+
+
+def test_schedule_factory_override():
+    fixed = FaultSchedule().crash(1.0, "n2").repair(3.0, "n2")
+    campaign = quick_campaign(
+        episodes=1, schedule_factory=lambda rng, nodes, duration: fixed
+    )
+    result = campaign.run()
+    assert result.episodes[0].schedule == fixed
+    assert [e.kind for e in result.episodes[0].trace][:2] == ["crash", "repair"]
+
+
+def test_replay_schedule_matches_campaign_episode():
+    """replay_schedule with the recorded seed + schedule reproduces the
+    episode byte for byte — the contract behind repro snippets."""
+    campaign = quick_campaign(episodes=1)
+    episode = campaign.run().episodes[0]
+    env = default_scenario(episode.seed)
+    trace, violations = replay_schedule(
+        env,
+        episode.schedule,
+        duration=campaign.episode_duration,
+        settle=campaign.settle,
+        check_interval=campaign.check_interval,
+    )
+    assert trace.text() == episode.trace.text()
+    assert [str(v) for v in violations] == [str(v) for v in episode.violations]
+
+
+def test_repro_snippet_names_module_level_scenario():
+    campaign = quick_campaign(episodes=1)
+    episode = campaign.run().episodes[0]
+    snippet = campaign.repro_snippet(episode)
+    assert "from repro.faults.campaign import default_scenario" in snippet
+    assert "replay_schedule(" in snippet
+    assert "FaultSchedule.from_dicts(" in snippet
+    compile(snippet, "<repro-snippet>", "exec")  # must be valid python
+
+
+def test_repro_snippet_placeholder_for_local_factory():
+    campaign = quick_campaign(
+        episodes=1, scenario_factory=lambda seed: default_scenario(seed)
+    )
+    episode = campaign.run().episodes[0]
+    snippet = campaign.repro_snippet(episode)
+    assert "substitute your scenario factory" in snippet
+    compile(snippet, "<repro-snippet>", "exec")
+
+
+def test_violating_campaign_collects_snippets():
+    """A hostile invariant guarantees violations; the campaign must emit
+    one reproduction snippet per failing episode."""
+    from repro.faults.invariants import Invariant, InvariantRegistry
+
+    def hostile_registry():
+        return InvariantRegistry(
+            [Invariant("tripwire", "always fires", lambda env: ["tripped"])]
+        )
+
+    result = quick_campaign(
+        episodes=2, registry_factory=hostile_registry
+    ).run()
+    assert not result.ok
+    assert len(result.snippets) == 2
+    assert all("replay_schedule" in s for s in result.snippets)
+    assert {v.invariant for v in result.violations} == {"tripwire"}

@@ -1,0 +1,136 @@
+"""FaultSchedule: builders, seeded-random generation, serialization."""
+
+import random
+
+import pytest
+
+from repro.faults.schedule import (
+    CRASH,
+    FAULT_KINDS,
+    HEAL,
+    PARTITION,
+    REPAIR,
+    FaultAction,
+    FaultSchedule,
+)
+from repro.sim.rng import RngStreams
+
+
+def test_actions_sort_by_time():
+    schedule = (
+        FaultSchedule().crash(5.0, "n2").heal(1.0).partition(3.0, ["n1"], ["n2"])
+    )
+    assert [a.kind for a in schedule] == ["heal", "partition", "crash"]
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultAction(1.0, "meteor-strike")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        FaultAction(-0.5, CRASH)
+
+
+def test_builder_is_persistent():
+    base = FaultSchedule().crash(1.0, "n1")
+    extended = base.repair(2.0, "n1")
+    assert len(base) == 1
+    assert len(extended) == 2
+
+
+def test_action_args_are_sorted_and_accessible():
+    action = FaultAction(1.0, "slow_node", (("node", "n1"), ("extra", 0.1), ("duration", 2.0)))
+    assert action.args == (("duration", 2.0), ("extra", 0.1), ("node", "n1"))
+    assert action.arg("node") == "n1"
+    assert action.arg("missing", "dflt") == "dflt"
+
+
+def test_random_schedule_same_seed_identical():
+    a = FaultSchedule.random(random.Random(99), 60.0, ["n1", "n2", "n3"])
+    b = FaultSchedule.random(random.Random(99), 60.0, ["n1", "n2", "n3"])
+    assert a == b
+    assert a.to_dicts() == b.to_dicts()
+
+
+def test_random_schedule_different_seed_differs():
+    a = FaultSchedule.random(random.Random(1), 120.0, ["n1", "n2", "n3"])
+    b = FaultSchedule.random(random.Random(2), 120.0, ["n1", "n2", "n3"])
+    assert a != b
+
+
+def test_random_schedule_from_rng_stream_is_stable():
+    a = FaultSchedule.random(RngStreams(7).stream("faults"), 60.0, ["n1", "n2"])
+    b = FaultSchedule.random(RngStreams(7).stream("faults"), 60.0, ["n1", "n2"])
+    assert a == b
+
+
+def test_random_schedule_keeps_a_survivor():
+    """At no point may the schedule hold every node down at once."""
+    for seed in range(20):
+        schedule = FaultSchedule.random(
+            random.Random(seed), 200.0, ["n1", "n2", "n3"], mean_gap=2.0
+        )
+        down = set()
+        for action in schedule:
+            if action.kind == CRASH:
+                down.add(action.arg("node"))
+            elif action.kind == REPAIR:
+                down.discard(action.arg("node"))
+            assert len(down) <= 2, "all nodes down at %s" % action
+
+
+def test_random_schedule_respects_kind_restriction():
+    schedule = FaultSchedule.random(
+        random.Random(3), 200.0, ["n1", "n2"], kinds=[CRASH, REPAIR], mean_gap=2.0
+    )
+    assert schedule, "expected some actions"
+    assert {a.kind for a in schedule} <= {CRASH, REPAIR}
+
+
+def test_random_schedule_partition_heal_pairing():
+    """Never two partitions without a heal in between."""
+    schedule = FaultSchedule.random(
+        random.Random(11), 300.0, ["n1", "n2", "n3"], mean_gap=1.5
+    )
+    active = False
+    for action in schedule:
+        if action.kind == PARTITION:
+            assert not active
+            active = True
+        elif action.kind == HEAL:
+            assert active
+            active = False
+
+
+def test_round_trip_through_dicts():
+    schedule = (
+        FaultSchedule()
+        .crash(1.0, "n1")
+        .partition(2.0, ["n1", "n2"], ["n3"])
+        .loss_burst(3.0, 0.2, 1.5)
+        .slow_node(4.0, "n2", 0.05, 2.0)
+        .clock_skew(5.0, "n3", 2.0, 1.0)
+        .heal(6.0)
+        .repair(7.0, "n1")
+    )
+    rebuilt = FaultSchedule.from_dicts(schedule.to_dicts())
+    assert rebuilt == schedule
+
+
+def test_snippet_is_executable_python():
+    schedule = FaultSchedule().crash(1.0, "n1").partition(2.0, ["n1"], ["n2"])
+    namespace = {"FaultSchedule": FaultSchedule}
+    rebuilt = eval(schedule.to_snippet(), namespace)  # noqa: S307 - test-only
+    assert rebuilt == schedule
+
+
+def test_all_kinds_reachable_by_generator():
+    seen = set()
+    for seed in range(40):
+        schedule = FaultSchedule.random(
+            random.Random(seed), 300.0, ["n1", "n2", "n3"], mean_gap=1.0
+        )
+        seen |= {a.kind for a in schedule}
+    assert seen == set(FAULT_KINDS)

@@ -1,0 +1,98 @@
+"""Property tests: the LDAP filter parser/evaluator never crashes.
+
+``parse_filter`` may reject input only with InvalidSyntaxError, and a
+successfully parsed filter must evaluate any property dictionary without
+raising — the service registry feeds it arbitrary service properties.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.osgi.errors import InvalidSyntaxError
+from repro.osgi.filter import parse_filter
+
+settings.register_profile("repro", max_examples=50, deadline=None)
+settings.load_profile("repro")
+
+attribute_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABC_", min_size=1, max_size=8
+)
+attribute_values = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789._- ", min_size=0, max_size=10
+)
+
+
+@st.composite
+def filter_strings(draw, depth=2):
+    """Well-formed filter strings over the full RFC 1960 grammar."""
+    if depth == 0 or draw(st.booleans()):
+        name = draw(attribute_names)
+        op = draw(st.sampled_from(["=", "~=", ">=", "<="]))
+        if op == "=":
+            # Only `=` admits presence (`=*`) and substring wildcards.
+            value = draw(
+                st.one_of(
+                    attribute_values,
+                    st.just("*"),
+                    st.tuples(attribute_values, attribute_values).map(
+                        lambda p: "%s*%s" % p
+                    ),
+                )
+            )
+        else:
+            value = draw(attribute_values.filter(bool))
+        return "(%s%s%s)" % (name, op, value)
+    op = draw(st.sampled_from(["&", "|", "!"]))
+    count = 1 if op == "!" else draw(st.integers(min_value=1, max_value=3))
+    inner = "".join(draw(filter_strings(depth=depth - 1)) for _ in range(count))
+    return "(%s%s)" % (op, inner)
+
+
+property_values = st.one_of(
+    st.text(max_size=10),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.lists(st.text(max_size=5), max_size=3),
+)
+property_dicts = st.dictionaries(
+    attribute_names, property_values, max_size=4
+)
+
+
+@given(st.text(max_size=40))
+def test_parse_raises_only_invalid_syntax_error(text):
+    try:
+        parse_filter(text)
+    except InvalidSyntaxError:
+        pass  # the only permitted failure mode
+
+
+@given(filter_strings(), property_dicts)
+def test_well_formed_filters_parse_and_evaluate(text, props):
+    filt = parse_filter(text)
+    assert filt.matches(props) in (True, False)
+
+
+@given(filter_strings())
+def test_parsed_filter_str_reparses(text):
+    filt = parse_filter(text)
+    again = parse_filter(str(filt))
+    assert str(again) == str(filt)
+
+
+@given(filter_strings(), property_dicts)
+def test_negation_flips_the_verdict(text, props):
+    filt = parse_filter(text)
+    negated = parse_filter("(!%s)" % text)
+    assert negated.matches(props) == (not filt.matches(props))
+
+
+@given(st.text(max_size=40), property_dicts)
+def test_arbitrary_text_never_crashes_the_pipeline(text, props):
+    """End to end: parse anything, evaluate whatever parses."""
+    try:
+        filt = parse_filter(text)
+    except InvalidSyntaxError:
+        return
+    assert filt.matches(props) in (True, False)

@@ -1,0 +1,102 @@
+"""Property tests for OSGi version ordering and range containment."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.osgi.version import Version, VersionRange
+
+settings.register_profile("repro", max_examples=50, deadline=None)
+settings.load_profile("repro")
+
+components = st.integers(min_value=0, max_value=999)
+qualifiers = st.one_of(
+    st.just(""),
+    st.text(
+        alphabet="0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "abcdefghijklmnopqrstuvwxyz_-",
+        min_size=1,
+        max_size=8,
+    ),
+)
+versions = st.builds(Version, components, components, components, qualifiers)
+
+
+@given(versions)
+def test_str_parse_round_trip(version):
+    assert Version.parse(str(version)) == version
+
+
+@given(versions, versions)
+def test_ordering_is_antisymmetric(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(versions, versions, versions)
+def test_ordering_is_transitive(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@given(versions, versions)
+def test_ordering_agrees_with_component_tuples(a, b):
+    key = lambda v: (v.major, v.minor, v.micro, v.qualifier)
+    assert (a < b) == (key(a) < key(b))
+
+
+@given(versions, versions)
+def test_equal_versions_hash_equal(a, b):
+    if a == b:
+        assert hash(a) == hash(b)
+
+
+@given(versions)
+def test_parse_is_idempotent(version):
+    assert Version.parse(Version.parse(str(version))) == version
+
+
+# ----------------------------------------------------------------------
+# Ranges
+# ----------------------------------------------------------------------
+ranges = st.one_of(
+    # Unbounded [v, infinity)
+    st.builds(VersionRange, versions),
+    # Bounded with random bracket inclusivity
+    st.builds(
+        VersionRange,
+        versions,
+        versions,
+        floor_inclusive=st.booleans(),
+        ceiling_inclusive=st.booleans(),
+    ),
+)
+
+
+@given(ranges)
+def test_range_str_parse_round_trip(rng):
+    assert VersionRange.parse(str(rng)) == rng
+
+
+@given(ranges, versions)
+def test_containment_matches_interval_semantics(rng, version):
+    above_floor = (
+        version >= rng.floor if rng.floor_inclusive else version > rng.floor
+    )
+    below_ceiling = rng.ceiling is None or (
+        version <= rng.ceiling
+        if rng.ceiling_inclusive
+        else version < rng.ceiling
+    )
+    assert rng.includes(version) == (above_floor and below_ceiling)
+
+
+@given(ranges)
+def test_empty_ranges_contain_nothing(rng):
+    if rng.is_empty():
+        assert not rng.includes(rng.floor)
+        if rng.ceiling is not None:
+            assert not rng.includes(rng.ceiling)
+
+
+@given(versions)
+def test_floor_membership_of_inclusive_unbounded_range(version):
+    assert VersionRange(version).includes(version)
