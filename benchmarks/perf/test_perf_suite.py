@@ -1,0 +1,20 @@
+"""Full microbenchmark suite, archived as BENCH_<rev>.json (nightly tier)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import BENCHMARK_NAMES, run_suite
+
+HERE = pathlib.Path(__file__).parent
+
+
+@pytest.mark.slow
+def test_full_suite_and_archive():
+    report = run_suite(quick=False)
+    assert set(report["benchmarks"]) == set(BENCHMARK_NAMES)
+    assert report["derived"]["registry_lookup_speedup_vs_linear"] >= 10.0
+    out = HERE / ("BENCH_%s.json" % report["revision"])
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print("\narchived %s" % out)

@@ -1,10 +1,12 @@
-"""``python -m repro`` — a 60-second tour, plus chaos campaigns.
+"""``python -m repro`` — a 60-second tour, chaos campaigns, benchmarks.
 
 With no subcommand (or ``demo``): builds a 3-node cluster, admits two
 customers (one with a warm standby), injects a crash, and prints the
 dependability story. With ``chaos``: runs a seeded chaos campaign of
 random fault schedules with invariant checking (see docs/FAULTS.md) and
-prints a reproduction snippet for any violation.
+prints a reproduction snippet for any violation. With ``bench``: runs
+the hot-path microbenchmark suite and writes ``BENCH_<rev>.json`` (see
+docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -22,6 +24,10 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench import bench_main
+
+        return bench_main(argv[1:])
     if argv and argv[0] == "demo":
         argv = argv[1:]
     return demo_main(argv)

@@ -1,0 +1,357 @@
+"""Repeatable microbenchmark suite — ``python -m repro bench``.
+
+Measures the hot paths the dependability story leans on (registry
+lookup, LDAP filter matching, service-event dispatch, simulated network
+fan-out, and a Figure-6 ipvs end-to-end scenario) and emits a
+``BENCH_<rev>.json`` with ops/sec, p50/p99 per-op wall time, and event
+counts, so successive PRs accumulate a performance trajectory.
+
+Each benchmark times individual operations with ``perf_counter_ns``;
+percentiles are over the per-op samples. The registry benchmark also
+re-measures the pre-index *linear scan* strategy over the same data set
+and records the speedup — the acceptance bar for the indexed path.
+
+See ``docs/PERF.md`` for how to run the suite and read the output.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["run_suite", "bench_main", "BENCHMARK_NAMES"]
+
+BENCHMARK_NAMES = (
+    "registry_lookup",
+    "registry_lookup_linear_baseline",
+    "filter_match",
+    "filter_parse_cached",
+    "event_dispatch",
+    "network_fanout",
+    "fig6_ipvs",
+)
+
+
+def _percentile(sorted_samples: List[int], fraction: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    index = min(len(sorted_samples) - 1, int(fraction * len(sorted_samples)))
+    return sorted_samples[index] / 1000.0  # ns -> us
+
+
+def _time_op(
+    op: Callable[[], Any], iterations: int, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Run ``op`` ``iterations`` times, timing each call individually."""
+    samples: List[int] = []
+    clock = time.perf_counter_ns
+    append = samples.append
+    total_start = clock()
+    for _ in range(iterations):
+        start = clock()
+        op()
+        append(clock() - start)
+    wall_ns = clock() - total_start
+    samples.sort()
+    result = {
+        "ops_per_sec": round(iterations / (wall_ns / 1e9), 1) if wall_ns else 0.0,
+        "p50_us": round(_percentile(samples, 0.50), 3),
+        "p99_us": round(_percentile(samples, 0.99), 3),
+        "iterations": iterations,
+        "wall_seconds": round(wall_ns / 1e9, 4),
+    }
+    if meta:
+        result["meta"] = meta
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+REGISTRY_SERVICES = 1000
+REGISTRY_CLASSES = 100  # -> 10 services per class ("10 matching")
+
+
+def _build_registry():
+    from repro.osgi.events import EventDispatcher
+    from repro.osgi.registry import ServiceRegistry
+
+    registry = ServiceRegistry(EventDispatcher())
+    for i in range(REGISTRY_SERVICES):
+        registry.register(
+            object(),
+            "bench.Kind%d" % (i % REGISTRY_CLASSES),
+            object(),
+            {"shard": i % 10, "service.ranking": i % 5, "owner": "acme"},
+        )
+    return registry
+
+
+def _linear_get_references(registry, clazz):
+    """The pre-index lookup strategy: scan every registration, then sort.
+
+    Kept here verbatim-in-spirit so the suite can always report the
+    indexed path's speedup against the same data set.
+    """
+    out = []
+    for registration in registry._registrations.values():
+        if clazz is not None and clazz not in registration._properties["objectClass"]:
+            continue
+        out.append(registration._reference)
+    out.sort(key=lambda ref: ref._sort_key())
+    return out
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+def _bench_registry_lookup(iterations: int) -> Dict[str, Any]:
+    registry = _build_registry()
+    return _time_op(
+        lambda: registry.get_references("bench.Kind7"),
+        iterations,
+        meta={"services": REGISTRY_SERVICES, "matching": 10, "strategy": "indexed"},
+    )
+
+
+def _bench_registry_lookup_linear(iterations: int) -> Dict[str, Any]:
+    registry = _build_registry()
+    return _time_op(
+        lambda: _linear_get_references(registry, "bench.Kind7"),
+        iterations,
+        meta={"services": REGISTRY_SERVICES, "matching": 10, "strategy": "linear-scan"},
+    )
+
+
+def _bench_filter_match(iterations: int) -> Dict[str, Any]:
+    from repro.osgi.filter import parse_filter
+
+    flt = parse_filter(
+        "(&(objectClass=bench.Kind7)(shard>=3)(owner~=Acme Corp)(name=svc-*-prod))"
+    )
+    props = {
+        "objectClass": ("bench.Kind7",),
+        "shard": 7,
+        "owner": "AcmeCorp",
+        "name": "svc-eu-prod",
+        "service.id": 42,
+    }
+    return _time_op(
+        lambda: flt.matches(props), iterations, meta={"filter": str(flt)}
+    )
+
+
+def _bench_filter_parse_cached(iterations: int) -> Dict[str, Any]:
+    from repro.osgi.filter import parse_filter, parse_filter_cache_clear
+
+    text = "(&(objectClass=bench.Kind7)(shard>=3)(!(owner=globex)))"
+    parse_filter_cache_clear()
+    parse_filter(text)  # warm the cache; steady state is the hit path
+    return _time_op(lambda: parse_filter(text), iterations, meta={"filter": text})
+
+
+def _bench_event_dispatch(iterations: int) -> Dict[str, Any]:
+    from repro.osgi.events import EventDispatcher
+    from repro.osgi.registry import ServiceRegistry
+
+    listeners = 200
+    dispatcher = EventDispatcher()
+    registry = ServiceRegistry(dispatcher)
+    hits = []
+    for i in range(listeners):
+        dispatcher.add_service_listener(
+            lambda event: hits.append(1), classes=("bench.Listened%d" % i,)
+        )
+    registration = registry.register(
+        object(), "bench.Listened7", object(), {"shard": 1}
+    )
+    result = _time_op(
+        lambda: registration.set_properties({"shard": 1}),
+        iterations,
+        meta={"listeners": listeners, "interested": 1},
+    )
+    result["delivered_events"] = len(hits)
+    return result
+
+
+def _bench_network_fanout(iterations: int) -> Dict[str, Any]:
+    from repro.sim.eventloop import EventLoop
+    from repro.sim.network import Network
+    from repro.sim.rng import RngStreams
+
+    fanout = 50
+    loop = EventLoop()
+    network = Network(loop, rng=RngStreams(7), latency=0.001, jitter=0.0)
+    received = []
+    source = network.attach("src", received.append)
+    for i in range(fanout):
+        network.attach("sink%d" % i, received.append)
+
+    def round_trip():
+        for i in range(fanout):
+            source.send("sink%d" % i, payload=i)
+        loop.run_for(0.01)
+
+    result = _time_op(
+        round_trip, iterations, meta={"fanout": fanout, "messages_per_op": fanout}
+    )
+    result["events_fired"] = loop.fired
+    result["delivered"] = network.stats.delivered
+    return result
+
+
+def _bench_fig6_ipvs(iterations: int) -> Dict[str, Any]:
+    from repro.cluster import Cluster
+    from repro.ipvs.addressing import IpEndpoint
+    from repro.ipvs.server import DirectorCluster
+
+    vip = IpEndpoint("203.0.113.1", 8080)
+    request_interval = 0.02
+    duration = 2.0
+
+    def scenario():
+        cluster = Cluster.build(2, seed=61)
+        directors = DirectorCluster(cluster.loop, replicas=2)
+        directors.add_service(vip)
+        directors.add_real_server(vip, "n1", service_time=0.005)
+        end = cluster.loop.clock.now + duration
+
+        def submit():
+            if cluster.loop.clock.now >= end:
+                return
+            directors.submit(vip)
+            cluster.loop.call_after(request_interval, submit)
+
+        cluster.loop.call_after(request_interval, submit)
+        cluster.run_for(duration + 0.5)
+        return cluster, directors
+
+    # Time whole scenario runs; report sim event counts from the last one.
+    last = []
+
+    def timed():
+        last[:] = scenario()
+
+    result = _time_op(timed, iterations)
+    cluster, directors = last
+    result["events_fired"] = cluster.loop.fired
+    stats = directors.stats()
+    result["meta"] = {
+        "sim_seconds": duration + 0.5,
+        "submitted": stats.get("submitted", 0),
+    }
+    return result
+
+
+_SUITE = {
+    "registry_lookup": (_bench_registry_lookup, 20000, 2000),
+    "registry_lookup_linear_baseline": (_bench_registry_lookup_linear, 2000, 200),
+    "filter_match": (_bench_filter_match, 50000, 5000),
+    "filter_parse_cached": (_bench_filter_parse_cached, 50000, 5000),
+    "event_dispatch": (_bench_event_dispatch, 20000, 2000),
+    "network_fanout": (_bench_network_fanout, 500, 50),
+    "fig6_ipvs": (_bench_fig6_ipvs, 3, 1),
+}
+
+
+def _revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "dev"
+
+
+def run_suite(
+    quick: bool = False, only: Optional[List[str]] = None
+) -> Dict[str, Any]:
+    """Run the benchmarks and return the report dict (not yet serialised)."""
+    report: Dict[str, Any] = {
+        "revision": _revision(),
+        "python": platform.python_version(),
+        "quick": quick,
+        "benchmarks": {},
+    }
+    for name, (fn, iterations, quick_iterations) in _SUITE.items():
+        if only and name not in only:
+            continue
+        report["benchmarks"][name] = fn(quick_iterations if quick else iterations)
+    indexed = report["benchmarks"].get("registry_lookup")
+    linear = report["benchmarks"].get("registry_lookup_linear_baseline")
+    if indexed and linear and linear["ops_per_sec"]:
+        report["derived"] = {
+            "registry_lookup_speedup_vs_linear": round(
+                indexed["ops_per_sec"] / linear["ops_per_sec"], 2
+            )
+        }
+    return report
+
+
+def bench_main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Hot-path microbenchmark suite; writes BENCH_<rev>.json",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced iterations (CI smoke)"
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated benchmark names (default: all of %s)"
+        % ",".join(BENCHMARK_NAMES),
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_<rev>.json in the current directory)",
+    )
+    args = parser.parse_args(argv)
+
+    only = None
+    if args.only:
+        only = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = sorted(set(only) - set(BENCHMARK_NAMES))
+        if unknown:
+            parser.error(
+                "unknown benchmarks %s (choose from %s)"
+                % (",".join(unknown), ",".join(BENCHMARK_NAMES))
+            )
+
+    report = run_suite(quick=args.quick, only=only)
+    path = args.out or ("BENCH_%s.json" % report["revision"])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print("repro bench — revision %s%s" % (report["revision"], " (quick)" if report["quick"] else ""))
+    for name, data in report["benchmarks"].items():
+        print(
+            "  %-34s %12.1f ops/s   p50 %8.2f us   p99 %8.2f us"
+            % (name, data["ops_per_sec"], data["p50_us"], data["p99_us"])
+        )
+    derived = report.get("derived", {})
+    if "registry_lookup_speedup_vs_linear" in derived:
+        print(
+            "  registry lookup speedup vs linear scan: %.1fx"
+            % derived["registry_lookup_speedup_vs_linear"]
+        )
+    print("wrote %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(bench_main())

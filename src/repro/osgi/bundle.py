@@ -339,11 +339,22 @@ class BundleContext:
         self._bundle.framework.dispatcher.remove_bundle_listener(listener)
 
     def add_service_listener(
-        self, listener: Callable, filter: "str | Filter | None" = None
+        self,
+        listener: Callable,
+        filter: "str | Filter | None" = None,
+        classes: Optional[Sequence[str]] = None,
     ) -> None:
+        """Register a service listener.
+
+        ``classes`` optionally names the objectClasses the listener cares
+        about so the dispatcher can index it (see
+        :meth:`EventDispatcher.add_service_listener`).
+        """
         self._check_valid()
         parsed = self._bundle.framework._parse_filter(filter)
-        self._bundle.framework.dispatcher.add_service_listener(listener, parsed)
+        self._bundle.framework.dispatcher.add_service_listener(
+            listener, parsed, classes=classes
+        )
 
     def remove_service_listener(self, listener: Callable) -> None:
         self._check_valid()

@@ -69,6 +69,18 @@ class FrameworkEvent:
         return "FrameworkEvent(%s, %s)" % (self.type.value, self.message or self.source)
 
 
+class _ServiceListenerEntry:
+    """One service listener with its filter and objectClass interest set."""
+
+    __slots__ = ("listener", "filter", "classes", "seq")
+
+    def __init__(self, listener, filter, classes, seq) -> None:
+        self.listener = listener
+        self.filter = filter
+        self.classes = classes  # frozenset of objectClass names, or None=any
+        self.seq = seq
+
+
 class EventDispatcher:
     """Registry of listeners for the three event families.
 
@@ -76,11 +88,21 @@ class EventDispatcher:
     raises is reported through a FrameworkEvent ERROR (and never unseats
     other listeners). Service listeners may carry an LDAP filter that is
     evaluated against the service properties before delivery.
+
+    Service listeners are indexed by objectClass: a listener whose filter
+    (or explicit ``classes`` hint) pins the object classes it can match
+    is only visited for events on those classes, so a service event costs
+    O(interested listeners) rather than a broadcast over every listener.
     """
 
     def __init__(self) -> None:
         self._bundle_listeners: List[Callable[[BundleEvent], None]] = []
-        self._service_listeners: List[tuple] = []  # (listener, filter or None)
+        self._service_entries: List[_ServiceListenerEntry] = []
+        #: objectClass -> entries whose interest set contains that class.
+        self._service_index: dict = {}
+        #: entries with no class constraint — visited for every event.
+        self._service_wildcard: List[_ServiceListenerEntry] = []
+        self._listener_seq = 0
         self._framework_listeners: List[Callable[[FrameworkEvent], None]] = []
         self._delivering_error = False
 
@@ -94,17 +116,53 @@ class EventDispatcher:
             self._bundle_listeners.remove(listener)
 
     def add_service_listener(
-        self, listener: Callable[[ServiceEvent], None], filter: Any = None
+        self,
+        listener: Callable[[ServiceEvent], None],
+        filter: Any = None,
+        classes: Any = None,
     ) -> None:
+        """Register ``listener``, optionally filtered.
+
+        ``classes`` is an optional iterable of objectClass names the
+        listener cares about (an indexing hint, e.g. from a tracker).
+        When omitted it is derived from the filter where possible;
+        otherwise the listener receives every service event.
+        """
         self.remove_service_listener(listener)
-        self._service_listeners.append((listener, filter))
+        if classes is not None:
+            interest = frozenset(classes)
+        elif filter is not None:
+            derive = getattr(filter, "objectclass_candidates", None)
+            interest = derive() if derive is not None else None
+        else:
+            interest = None
+        entry = _ServiceListenerEntry(listener, filter, interest, self._listener_seq)
+        self._listener_seq += 1
+        self._service_entries.append(entry)
+        if interest is None:
+            self._service_wildcard.append(entry)
+        else:
+            for clazz in interest:
+                self._service_index.setdefault(clazz, []).append(entry)
 
     def remove_service_listener(
         self, listener: Callable[[ServiceEvent], None]
     ) -> None:
-        self._service_listeners = [
-            (l, f) for (l, f) in self._service_listeners if l is not listener
-        ]
+        kept = [e for e in self._service_entries if e.listener is not listener]
+        if len(kept) == len(self._service_entries):
+            return
+        self._service_entries = kept
+        self._rebuild_service_index()
+
+    def _rebuild_service_index(self) -> None:
+        self._service_index = {}
+        self._service_wildcard = []
+        for entry in self._service_entries:
+            if entry.classes is None:
+                self._service_wildcard.append(entry)
+            else:
+                for clazz in entry.classes:
+                    self._service_index.setdefault(clazz, []).append(entry)
 
     def add_framework_listener(
         self, listener: Callable[[FrameworkEvent], None]
@@ -120,7 +178,9 @@ class EventDispatcher:
 
     def clear(self) -> None:
         self._bundle_listeners = []
-        self._service_listeners = []
+        self._service_entries = []
+        self._service_index = {}
+        self._service_wildcard = []
         self._framework_listeners = []
 
     # -- dispatch ---------------------------------------------------------
@@ -129,10 +189,37 @@ class EventDispatcher:
             self._safely(listener, event)
 
     def fire_service_event(self, event: ServiceEvent) -> None:
-        for listener, flt in list(self._service_listeners):
-            if flt is not None and not flt.matches(event.reference.properties):
+        reference = event.reference
+        classes = getattr(reference, "object_classes", None)
+        if classes is None:
+            # Reference without class metadata: visit every listener.
+            entries = list(self._service_entries)
+        elif not self._service_index:
+            entries = list(self._service_wildcard)
+        else:
+            touched = list(self._service_wildcard)
+            for clazz in classes:
+                touched.extend(self._service_index.get(clazz, ()))
+            if len(classes) > 1:
+                # A listener interested in several of the event's classes
+                # appears in several buckets — deliver once, in
+                # registration order.
+                seen = set()
+                entries = []
+                for entry in sorted(touched, key=lambda e: e.seq):
+                    if entry.seq not in seen:
+                        seen.add(entry.seq)
+                        entries.append(entry)
+            else:
+                touched.sort(key=lambda e: e.seq)
+                entries = touched
+        props = getattr(reference, "_raw_properties", None)
+        if props is None:
+            props = reference.properties
+        for entry in entries:
+            if entry.filter is not None and not entry.filter.matches(props):
                 continue
-            self._safely(listener, event)
+            self._safely(entry.listener, event)
 
     def fire_framework_event(self, event: FrameworkEvent) -> None:
         for listener in list(self._framework_listeners):

@@ -14,18 +14,32 @@ tree that matches against property dictionaries with OSGi semantics:
   by version when it is a :class:`~repro.osgi.version.Version`, and
   lexicographically otherwise;
 * list/tuple-valued properties match when any element matches.
+
+Filters are compiled to closures at parse time: attribute names are
+lowered once, substring patterns are pre-split, and numeric/version
+coercions of the literal operand are decided per node — ``matches()``
+is a single closure call over the raw property dict, with no per-call
+dict copying or string re-processing. :func:`parse_filter` memoises
+parses in an LRU cache keyed by the filter text; treat parsed filters
+as immutable.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from functools import lru_cache
+from typing import Any, Callable, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from repro.osgi.errors import InvalidSyntaxError
 from repro.osgi.version import Version
 
+_MISSING = object()
+
+#: A compiled matcher: raw property mapping -> bool.
+_Matcher = Callable[[Mapping[str, Any]], bool]
+
 
 class Filter:
-    """A parsed LDAP filter node. Build with :func:`parse_filter`."""
+    """A parsed, compiled LDAP filter node. Build with :func:`parse_filter`."""
 
     #: node kinds
     AND = "&"
@@ -38,7 +52,7 @@ class Filter:
     PRESENT = "=*"
     SUBSTRING = "substr"
 
-    __slots__ = ("kind", "attribute", "value", "children", "_text")
+    __slots__ = ("kind", "attribute", "value", "children", "_text", "_match")
 
     def __init__(
         self,
@@ -53,43 +67,50 @@ class Filter:
         self.value = value
         self.children = children or []
         self._text = text
+        self._match: _Matcher = _compile(self)
 
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
     def matches(self, properties: Mapping[str, Any]) -> bool:
-        """Evaluate the filter against ``properties`` (case-insensitive keys)."""
-        lowered = {str(k).lower(): v for k, v in properties.items()}
-        return self._eval(lowered)
+        """Evaluate against ``properties`` (case-insensitive keys).
 
-    def _eval(self, props: Dict[str, Any]) -> bool:
-        if self.kind == Filter.AND:
-            return all(child._eval(props) for child in self.children)
-        if self.kind == Filter.OR:
-            return any(child._eval(props) for child in self.children)
-        if self.kind == Filter.NOT:
-            return not self.children[0]._eval(props)
-        actual = props.get(self.attribute.lower(), _MISSING)
-        if actual is _MISSING:
-            return False
-        if self.kind == Filter.PRESENT:
-            return True
-        if isinstance(actual, (list, tuple, set, frozenset)):
-            return any(self._compare(item) for item in actual)
-        return self._compare(actual)
+        Accepts the raw dict: keys are looked up case-insensitively
+        without building a lowered copy, and the mapping is never
+        mutated.
+        """
+        return self._match(properties)
 
-    def _compare(self, actual: Any) -> bool:
-        if self.kind == Filter.SUBSTRING:
-            return _substring_match(str(actual), self.value)
+    def objectclass_candidates(self) -> Optional[FrozenSet[str]]:
+        """Object classes this filter could possibly match, or ``None``.
+
+        ``None`` means "unconstrained" — the filter may match a service
+        of any class. A frozenset means the filter can only ever match a
+        service registered under at least one of those classes; event
+        dispatch uses this to index listeners by objectClass.
+        """
         if self.kind == Filter.EQUAL:
-            return _equal(actual, self.value)
-        if self.kind == Filter.APPROX:
-            return _approx(str(actual)) == _approx(str(self.value))
-        if self.kind == Filter.GREATER_EQ:
-            return _ordered(actual, self.value, greater=True)
-        if self.kind == Filter.LESS_EQ:
-            return _ordered(actual, self.value, greater=False)
-        raise AssertionError("unreachable filter kind %r" % self.kind)
+            if self.attribute.lower() == "objectclass":
+                return frozenset((str(self.value),))
+            return None
+        if self.kind == Filter.AND:
+            out: Optional[FrozenSet[str]] = None
+            for child in self.children:
+                candidates = child.objectclass_candidates()
+                if candidates is None:
+                    continue
+                out = candidates if out is None else (out & candidates)
+            return out
+        if self.kind == Filter.OR:
+            union: FrozenSet[str] = frozenset()
+            for child in self.children:
+                candidates = child.objectclass_candidates()
+                if candidates is None:
+                    return None
+                union |= candidates
+            return union
+        # NOT / substring / presence / ordered nodes cannot constrain.
+        return None
 
     def __str__(self) -> str:
         return self._text or self._render()
@@ -108,9 +129,6 @@ class Filter:
 
     def __repr__(self) -> str:
         return "Filter(%s)" % self
-
-
-_MISSING = object()
 
 
 def _escape(value: str) -> str:
@@ -133,53 +151,147 @@ def _coerce_number(text: str) -> Optional[float]:
         return None
 
 
-def _equal(actual: Any, expected: str) -> bool:
-    if isinstance(actual, bool):
-        return str(actual).lower() == expected.strip().lower()
-    if isinstance(actual, (int, float)):
-        number = _coerce_number(expected)
-        return number is not None and float(actual) == number
-    if isinstance(actual, Version):
-        try:
-            return actual == Version.parse(expected)
-        except ValueError:
+def _coerce_version(text: str) -> Optional[Version]:
+    try:
+        return Version.parse(text)
+    except (TypeError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Compilation: Filter tree -> matcher closures
+# ----------------------------------------------------------------------
+def _compile(node: Filter) -> _Matcher:
+    kind = node.kind
+    if kind == Filter.AND:
+        matchers = tuple(child._match for child in node.children)
+        return lambda props: all(m(props) for m in matchers)
+    if kind == Filter.OR:
+        matchers = tuple(child._match for child in node.children)
+        return lambda props: any(m(props) for m in matchers)
+    if kind == Filter.NOT:
+        inner = node.children[0]._match
+        return lambda props: not inner(props)
+
+    lookup = _compile_lookup(node.attribute)
+    if kind == Filter.PRESENT:
+        return lambda props: lookup(props) is not _MISSING
+
+    compare = _compile_compare(node)
+
+    def leaf(props: Mapping[str, Any]) -> bool:
+        actual = lookup(props)
+        if actual is _MISSING:
             return False
-    return str(actual) == expected
+        if isinstance(actual, (list, tuple, set, frozenset)):
+            return any(compare(item) for item in actual)
+        return compare(actual)
+
+    return leaf
 
 
-def _ordered(actual: Any, expected: str, greater: bool) -> bool:
-    if isinstance(actual, (int, float)) and not isinstance(actual, bool):
-        number = _coerce_number(expected)
-        if number is None:
-            return False
-        return actual >= number if greater else actual <= number
-    if isinstance(actual, Version):
-        try:
-            other = Version.parse(expected)
-        except ValueError:
-            return False
-        return actual >= other if greater else actual <= other
-    text = str(actual)
-    return text >= expected if greater else text <= expected
+def _compile_lookup(attribute: str) -> Callable[[Mapping[str, Any]], Any]:
+    """Case-insensitive property lookup without copying the dict.
+
+    Fast path: the attribute as written, then its lowercase form, hit the
+    dict directly. Slow path (rare): scan the keys, lowering each; the
+    last match wins, mirroring the overwrite order of the lowered-copy
+    approach this replaces.
+    """
+    exact = attribute
+    lowered = attribute.lower()
+
+    def lookup(props: Mapping[str, Any]) -> Any:
+        value = props.get(exact, _MISSING)
+        if value is not _MISSING:
+            return value
+        if lowered != exact:
+            value = props.get(lowered, _MISSING)
+            if value is not _MISSING:
+                return value
+        found = _MISSING
+        for key in props:
+            if str(key).lower() == lowered:
+                found = props[key]
+        return found
+
+    return lookup
 
 
-def _substring_match(text: str, parts: Sequence[str]) -> bool:
-    """Match ``parts`` (the segments between ``*``) against ``text``."""
+def _compile_compare(node: Filter) -> Callable[[Any], bool]:
+    kind = node.kind
+    if kind == Filter.SUBSTRING:
+        return _compile_substring(node.value)
+    if kind == Filter.EQUAL:
+        return _compile_equal(node.value)
+    if kind == Filter.APPROX:
+        expected_approx = _approx(str(node.value))
+        return lambda actual: _approx(str(actual)) == expected_approx
+    if kind == Filter.GREATER_EQ:
+        return _compile_ordered(node.value, greater=True)
+    if kind == Filter.LESS_EQ:
+        return _compile_ordered(node.value, greater=False)
+    raise AssertionError("unreachable filter kind %r" % kind)
+
+
+def _compile_equal(expected: str) -> Callable[[Any], bool]:
+    expected_bool = expected.strip().lower()
+    expected_number = _coerce_number(expected)
+    expected_version = _coerce_version(expected)
+
+    def compare(actual: Any) -> bool:
+        if isinstance(actual, bool):
+            return str(actual).lower() == expected_bool
+        if isinstance(actual, (int, float)):
+            return expected_number is not None and float(actual) == expected_number
+        if isinstance(actual, Version):
+            return expected_version is not None and actual == expected_version
+        return str(actual) == expected
+
+    return compare
+
+
+def _compile_ordered(expected: str, greater: bool) -> Callable[[Any], bool]:
+    expected_number = _coerce_number(expected)
+    expected_version = _coerce_version(expected)
+
+    def compare(actual: Any) -> bool:
+        if isinstance(actual, (int, float)) and not isinstance(actual, bool):
+            if expected_number is None:
+                return False
+            return actual >= expected_number if greater else actual <= expected_number
+        if isinstance(actual, Version):
+            if expected_version is None:
+                return False
+            return actual >= expected_version if greater else actual <= expected_version
+        text = str(actual)
+        return text >= expected if greater else text <= expected
+
+    return compare
+
+
+def _compile_substring(parts: List[str]) -> Callable[[Any], bool]:
     first, last = parts[0], parts[-1]
-    if first and not text.startswith(first):
-        return False
-    if last and not text.endswith(last):
-        return False
-    position = len(first)
-    end_limit = len(text) - len(last)
-    for middle in parts[1:-1]:
-        if not middle:
-            continue
-        found = text.find(middle, position, end_limit)
-        if found < 0:
+    first_len, last_len = len(first), len(last)
+    middles = tuple(m for m in parts[1:-1] if m)
+    single = len(parts) == 1
+
+    def compare(actual: Any) -> bool:
+        text = str(actual)
+        if first and not text.startswith(first):
             return False
-        position = found + len(middle)
-    return position <= end_limit or (len(parts) == 1)
+        if last and not text.endswith(last):
+            return False
+        position = first_len
+        end_limit = len(text) - last_len
+        for middle in middles:
+            found = text.find(middle, position, end_limit)
+            if found < 0:
+                return False
+            position = found + len(middle)
+        return position <= end_limit or single
+
+    return compare
 
 
 class _Parser:
@@ -331,12 +443,24 @@ class _Parser:
         return parts[0], False
 
 
-def parse_filter(text: str) -> Filter:
-    """Parse ``text`` into a :class:`Filter`.
+@lru_cache(maxsize=512)
+def _parse_cached(text: str) -> Filter:
+    return _Parser(text).parse()
 
+
+def parse_filter(text: str) -> Filter:
+    """Parse ``text`` into a compiled :class:`Filter`.
+
+    Parses are memoised in an LRU cache keyed by the exact filter text;
+    the same text returns the same (immutable) :class:`Filter` object.
     Raises :class:`~repro.osgi.errors.InvalidSyntaxError` on malformed
     input.
     """
     if not isinstance(text, str) or not text.strip():
         raise InvalidSyntaxError("empty filter", str(text))
-    return _Parser(text).parse()
+    return _parse_cached(text)
+
+
+#: Introspection/reset hooks for the parse cache (used by tests and benchmarks).
+parse_filter_cache_info = _parse_cached.cache_info
+parse_filter_cache_clear = _parse_cached.cache_clear

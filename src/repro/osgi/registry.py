@@ -9,6 +9,7 @@ service factories producing a distinct instance per consuming bundle.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.osgi.errors import ServiceException
@@ -53,6 +54,11 @@ class ServiceReference:
     def properties(self) -> Dict[str, Any]:
         """A copy of the service properties."""
         return dict(self._registration._properties)
+
+    @property
+    def _raw_properties(self) -> Mapping[str, Any]:
+        """The live property mapping — read-only use on hot paths only."""
+        return self._registration._properties
 
     def get_property(self, key: str) -> Any:
         return self._registration._properties.get(key)
@@ -122,6 +128,17 @@ class ServiceRegistration:
         self._reference = ServiceReference(self)
         self._use_counts: Dict[Any, int] = {}
         self._factory_instances: Dict[Any, Any] = {}
+        self._order_key = self._compute_order_key()
+
+    def _compute_order_key(self) -> "tuple[int, int]":
+        ranking = self._properties.get(SERVICE_RANKING, 0)
+        if not isinstance(ranking, int):
+            ranking = 0
+        return (-ranking, self._properties[SERVICE_ID])
+
+    def __lt__(self, other: "ServiceRegistration") -> bool:
+        # Best-first bucket order: highest ranking, then oldest (lowest id).
+        return self._order_key < other._order_key
 
     @property
     def reference(self) -> ServiceReference:
@@ -144,6 +161,7 @@ class ServiceRegistration:
         updated = {str(k): v for k, v in properties.items()}
         updated.update(pinned)
         self._properties = updated
+        self._registry._reindex(self)
         self._registry._dispatcher.fire_service_event(
             ServiceEvent(ServiceEventType.MODIFIED, self._reference)
         )
@@ -161,11 +179,18 @@ class ServiceRegistration:
 
 
 class ServiceRegistry:
-    """Central registry; one per framework instance."""
+    """Central registry; one per framework instance.
+
+    Registrations live in an insertion-ordered ``id -> registration``
+    dict (O(1) unregister) and in a per-objectClass index whose buckets
+    are kept in ``(-ranking, service.id)`` order, so class-scoped lookup
+    is O(matching services) with no per-call sort.
+    """
 
     def __init__(self, dispatcher: EventDispatcher) -> None:
         self._dispatcher = dispatcher
-        self._registrations: List[ServiceRegistration] = []
+        self._registrations: Dict[int, ServiceRegistration] = {}
+        self._by_class: Dict[str, List[ServiceRegistration]] = {}
         self._next_id = 1
 
     # ------------------------------------------------------------------
@@ -190,7 +215,9 @@ class ServiceRegistry:
         props[SERVICE_ID] = self._next_id
         self._next_id += 1
         registration = ServiceRegistration(self, bundle, classes, service, props)
-        self._registrations.append(registration)
+        self._registrations[props[SERVICE_ID]] = registration
+        for clazz in classes:
+            insort(self._by_class.setdefault(clazz, []), registration)
         self._dispatcher.fire_service_event(
             ServiceEvent(ServiceEventType.REGISTERED, registration._reference)
         )
@@ -204,12 +231,34 @@ class ServiceRegistry:
         registration._bundle = None
         registration._use_counts.clear()
         registration._factory_instances.clear()
-        if registration in self._registrations:
-            self._registrations.remove(registration)
+        if self._registrations.pop(registration._properties[SERVICE_ID], None) is None:
+            return  # reentrant unregister during the UNREGISTERING event
+        for clazz in registration._properties[OBJECTCLASS]:
+            bucket = self._by_class.get(clazz)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(registration)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._by_class[clazz]
+
+    def _reindex(self, registration: ServiceRegistration) -> None:
+        """Restore bucket order after a property change touched the ranking."""
+        old_key = registration._order_key
+        new_key = registration._compute_order_key()
+        if new_key == old_key:
+            return
+        registration._order_key = new_key
+        for clazz in registration._properties[OBJECTCLASS]:
+            bucket = self._by_class.get(clazz)
+            if bucket is not None:
+                bucket.sort()
 
     def unregister_all(self, bundle: Any) -> int:
         """Withdraw every service the bundle registered; returns the count."""
-        mine = [r for r in self._registrations if r._bundle is bundle]
+        mine = [r for r in self._registrations.values() if r._bundle is bundle]
         for registration in mine:
             self._unregister(registration)
         return len(mine)
@@ -226,13 +275,36 @@ class ServiceRegistry:
         parsed: Optional[Filter] = None
         if filter is not None:
             parsed = filter if isinstance(filter, Filter) else parse_filter(filter)
-        out: List[ServiceReference] = []
-        for registration in self._registrations:
-            if clazz is not None and clazz not in registration._properties[OBJECTCLASS]:
-                continue
-            if parsed is not None and not parsed.matches(registration._properties):
-                continue
-            out.append(registration._reference)
+        if clazz is not None:
+            # Indexed path: the bucket is already in (-ranking, id) order.
+            bucket = self._by_class.get(clazz)
+            if not bucket:
+                return []
+            if parsed is None:
+                return [r._reference for r in bucket]
+            return [
+                r._reference for r in bucket if parsed.matches(r._properties)
+            ]
+        if parsed is not None:
+            candidates = parsed.objectclass_candidates()
+            if candidates is not None:
+                # The filter pins the objectClass: merge candidate buckets
+                # (a service registered under several candidate classes
+                # appears once) instead of scanning every registration.
+                seen: set = set()
+                out = []
+                for name in candidates:
+                    for r in self._by_class.get(name, ()):
+                        if id(r) not in seen and parsed.matches(r._properties):
+                            seen.add(id(r))
+                            out.append(r._reference)
+                out.sort(key=lambda ref: ref._sort_key())
+                return out
+        out = [
+            r._reference
+            for r in self._registrations.values()
+            if parsed is None or parsed.matches(r._properties)
+        ]
         out.sort(key=lambda ref: ref._sort_key())
         return out
 
@@ -240,8 +312,17 @@ class ServiceRegistry:
         self, clazz: str, filter: "str | Filter | None" = None
     ) -> Optional[ServiceReference]:
         """The best matching reference, or None."""
-        refs = self.get_references(clazz, filter)
-        return refs[0] if refs else None
+        if clazz is None:
+            refs = self.get_references(None, filter)
+            return refs[0] if refs else None
+        if filter is None:
+            bucket = self._by_class.get(clazz)
+            return bucket[0]._reference if bucket else None
+        parsed = filter if isinstance(filter, Filter) else parse_filter(filter)
+        for registration in self._by_class.get(clazz, ()):
+            if parsed.matches(registration._properties):
+                return registration._reference
+        return None
 
     # ------------------------------------------------------------------
     # Use counting
@@ -296,20 +377,20 @@ class ServiceRegistry:
     def services_of(self, bundle: Any) -> List[ServiceReference]:
         """References to services registered by ``bundle``."""
         return [
-            r._reference for r in self._registrations if r._bundle is bundle
+            r._reference for r in self._registrations.values() if r._bundle is bundle
         ]
 
     def in_use_by(self, bundle: Any) -> List[ServiceReference]:
         """References to services ``bundle`` currently holds uses of."""
         return [
             r._reference
-            for r in self._registrations
+            for r in self._registrations.values()
             if bundle in r._use_counts
         ]
 
     def release_all(self, bundle: Any) -> None:
         """Drop every use held by ``bundle`` (on bundle stop)."""
-        for registration in list(self._registrations):
+        for registration in list(self._registrations.values()):
             if bundle in registration._use_counts:
                 registration._use_counts.pop(bundle, None)
                 instance = registration._factory_instances.pop(bundle, None)

@@ -55,7 +55,15 @@ class ServiceTracker:
         if self._open:
             return
         self._open = True
-        self._context.add_service_listener(self._on_event)
+        # Hand the dispatcher an objectClass interest hint so service
+        # events for unrelated classes never visit this tracker.
+        if self._clazz is not None:
+            classes = (self._clazz,)
+        elif self._filter is not None:
+            classes = self._filter.objectclass_candidates()
+        else:
+            classes = None
+        self._context.add_service_listener(self._on_event, classes=classes)
         for reference in self._context.get_service_references(
             self._clazz, self._filter
         ):
@@ -100,7 +108,7 @@ class ServiceTracker:
             if self._clazz not in classes:
                 return False
         if self._filter is not None and not self._filter.matches(
-            reference.properties
+            reference._raw_properties
         ):
             return False
         return True

@@ -16,7 +16,7 @@ from repro.sim.clock import Clock
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("when", "seq", "action", "label", "cancelled")
+    __slots__ = ("when", "seq", "action", "label", "cancelled", "_on_cancel")
 
     def __init__(
         self,
@@ -30,10 +30,17 @@ class ScheduledEvent:
         self.action = action
         self.label = label
         self.cancelled = False
+        #: Loop bookkeeping hook; cleared once the event leaves the queue.
+        self._on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+            self._on_cancel = None
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -63,6 +70,8 @@ class EventLoop:
         self._queue: List[ScheduledEvent] = []
         self._seq = 0
         self._fired = 0
+        self._live = 0  # non-cancelled events still queued; pending is O(1)
+        self._cancelled_in_queue = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -82,7 +91,9 @@ class EventLoop:
             )
         event = ScheduledEvent(when, self._seq, action, label)
         self._seq += 1
+        event._on_cancel = self._note_cancel
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def call_after(
@@ -102,8 +113,8 @@ class EventLoop:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
     @property
     def fired(self) -> int:
@@ -123,6 +134,8 @@ class EventLoop:
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
+        event._on_cancel = None
+        self._live -= 1
         self.clock.advance_to(event.when)
         self._fired += 1
         event.action()
@@ -134,14 +147,32 @@ class EventLoop:
         Advances the clock to exactly ``deadline`` afterwards, even when the
         queue drains early, so timers that measure "quiet" intervals observe
         the full window. Returns the number of events fired.
+
+        Events sharing an instant are fired as one batch: the clock
+        advances once per distinct timestamp and the queue head is
+        re-examined without the per-event peek round-trip. Ordering is
+        still strict ``(time, seq)`` — actions scheduled *at* the current
+        instant by a firing event join the back of the batch, and
+        cancellations raised mid-batch are honoured.
         """
+        queue = self._queue
         fired = 0
         while True:
-            nxt = self.peek_next_time()
-            if nxt is None or nxt > deadline:
+            self._drop_cancelled_head()
+            if not queue or queue[0].when > deadline:
                 break
-            self.step()
-            fired += 1
+            when = queue[0].when
+            self.clock.advance_to(when)
+            while queue and queue[0].when == when:
+                event = heapq.heappop(queue)
+                if event.cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                event._on_cancel = None
+                self._live -= 1
+                self._fired += 1
+                event.action()
+                fired += 1
         if deadline > self.clock.now:
             self.clock.advance_to(deadline)
         return fired
@@ -163,9 +194,27 @@ class EventLoop:
                 )
         return fired
 
+    def _note_cancel(self) -> None:
+        """Bookkeeping for a cancellation of a still-queued event."""
+        self._live -= 1
+        self._cancelled_in_queue += 1
+        # Compact once cancelled entries outnumber live ones: rebuilding
+        # the heap from the survivors is O(live) and keeps pop cost from
+        # degrading under heavy cancel churn (e.g. timeout timers).
+        if self._cancelled_in_queue > len(self._queue) // 2:
+            self._compact()
+
+    def _compact(self) -> None:
+        # In place: run_until holds an alias to the queue across actions
+        # that may cancel (and thus compact) while a batch is mid-flight.
+        self._queue[:] = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+
     def _drop_cancelled_head(self) -> None:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_queue -= 1
 
     def __repr__(self) -> str:
         return "EventLoop(now=%.6f, pending=%d, fired=%d)" % (

@@ -79,9 +79,16 @@ class Endpoint:
 
 @dataclass
 class _Link:
-    """Per-ordered-pair FIFO state: earliest allowed delivery time."""
+    """Per-ordered-pair FIFO state: earliest allowed delivery time.
+
+    ``batch``/``batch_at`` coalesce same-instant deliveries: when FIFO
+    backpressure collapses several messages onto one delivery timestamp,
+    they share a single scheduled event instead of one each.
+    """
 
     next_free_at: float = 0.0
+    batch_at: float = -1.0
+    batch: List[Message] = field(default_factory=list)
 
 
 class Network:
@@ -257,11 +264,28 @@ class Network:
         link = self._links.setdefault((source, destination), _Link())
         deliver_at = max(self.loop.clock.now + delay, link.next_free_at)
         link.next_free_at = deliver_at
+        if link.batch and link.batch_at == deliver_at:
+            # Piggyback on the delivery event already scheduled for this
+            # instant; FIFO order within the link is preserved.
+            link.batch.append(message)
+            return
+        batch = [message]
+        link.batch = batch
+        link.batch_at = deliver_at
         self.loop.call_at(
             deliver_at,
-            lambda: self._deliver(message),
+            lambda: self._deliver_batch(link, batch),
             label="net:%s->%s" % (source, destination),
         )
+
+    def _deliver_batch(self, link: _Link, batch: List[Message]) -> None:
+        if link.batch is batch:
+            # Later same-instant sends must open a fresh batch once this
+            # event has fired.
+            link.batch = []
+            link.batch_at = -1.0
+        for message in batch:
+            self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
         # Re-check the partition at delivery time: a partition raised while

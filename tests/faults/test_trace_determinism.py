@@ -1,0 +1,31 @@
+"""Seed-replay guard for the event-loop/network hot-path changes.
+
+PR 1 promises that a chaos campaign is reproducible from its seed alone:
+the fault trace is byte-identical run to run. The heap-compaction,
+same-instant batching, and network delivery-coalescing optimisations
+must not perturb that. The pinned digest below was captured on the
+pre-optimisation linear implementation — if it ever changes, virtual
+time ordering changed, which breaks every recorded reproduction snippet.
+"""
+
+from repro.faults import ChaosCampaign
+
+CAMPAIGN_KWARGS = dict(
+    seed=20260805, episodes=2, episode_duration=20.0, settle=5.0
+)
+
+# Captured at commit 8d08e47 (pre registry/eventloop optimisation).
+PINNED_DIGEST = "2b0b96c9ad3b312b51dd0bac75842cb884f44281c3af668a9917373dbede0c21"
+
+
+def test_fixed_seed_trace_matches_pre_optimisation_digest():
+    result = ChaosCampaign(**CAMPAIGN_KWARGS).run()
+    assert result.trace_digest() == PINNED_DIGEST
+
+
+def test_replay_is_byte_identical():
+    first = ChaosCampaign(**CAMPAIGN_KWARGS).run()
+    second = ChaosCampaign(**CAMPAIGN_KWARGS).run()
+    assert first.trace_digest() == second.trace_digest()
+    for a, b in zip(first.episodes, second.episodes):
+        assert a.trace.text() == b.trace.text()

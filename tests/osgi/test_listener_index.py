@@ -1,0 +1,72 @@
+"""Service-listener indexing by objectClass in the EventDispatcher."""
+
+from repro.osgi.events import EventDispatcher, ServiceEventType
+from repro.osgi.filter import parse_filter
+from repro.osgi.registry import ServiceRegistry
+
+
+def make():
+    dispatcher = EventDispatcher()
+    return dispatcher, ServiceRegistry(dispatcher)
+
+
+def test_class_scoped_listener_only_sees_its_class():
+    dispatcher, registry = make()
+    seen = []
+    dispatcher.add_service_listener(seen.append, classes=("wanted",))
+    registry.register(object(), "other", object())
+    assert seen == []
+    registration = registry.register(object(), "wanted", object())
+    assert [e.type for e in seen] == [ServiceEventType.REGISTERED]
+    registration.set_properties({"x": 1})
+    registration.unregister()
+    assert [e.type for e in seen] == [
+        ServiceEventType.REGISTERED,
+        ServiceEventType.MODIFIED,
+        ServiceEventType.UNREGISTERING,
+    ]
+
+
+def test_interest_set_derived_from_filter():
+    dispatcher, registry = make()
+    seen = []
+    dispatcher.add_service_listener(
+        seen.append, parse_filter("(&(objectClass=wanted)(grade>=3))")
+    )
+    registry.register(object(), "other", object(), {"grade": 9})
+    registry.register(object(), "wanted", object(), {"grade": 1})
+    assert seen == []  # right class, filter rejects
+    registry.register(object(), "wanted", object(), {"grade": 5})
+    assert len(seen) == 1
+
+
+def test_wildcard_listener_still_sees_everything():
+    dispatcher, registry = make()
+    wildcard, scoped = [], []
+    dispatcher.add_service_listener(wildcard.append)
+    dispatcher.add_service_listener(scoped.append, classes=("a",))
+    registry.register(object(), "a", object())
+    registry.register(object(), "b", object())
+    assert len(wildcard) == 2
+    assert len(scoped) == 1
+
+
+def test_multi_class_event_delivers_once_in_registration_order():
+    dispatcher, registry = make()
+    order = []
+    dispatcher.add_service_listener(lambda e: order.append("both"), classes=("a", "b"))
+    dispatcher.add_service_listener(lambda e: order.append("wild"))
+    dispatcher.add_service_listener(lambda e: order.append("only-b"), classes=("b",))
+    registry.register(object(), ("a", "b"), object())
+    assert order == ["both", "wild", "only-b"]
+
+
+def test_removed_listener_leaves_index_clean():
+    dispatcher, registry = make()
+    seen = []
+    listener = seen.append
+    dispatcher.add_service_listener(listener, classes=("a",))
+    dispatcher.remove_service_listener(listener)
+    registry.register(object(), "a", object())
+    assert seen == []
+    assert dispatcher._service_index == {}

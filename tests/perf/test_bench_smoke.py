@@ -1,0 +1,50 @@
+"""The bench harness must run and emit schema-valid, JSON-serialisable data."""
+
+import json
+
+import pytest
+
+from repro.bench import BENCHMARK_NAMES, run_suite
+
+FAST = [
+    "registry_lookup",
+    "registry_lookup_linear_baseline",
+    "filter_match",
+    "filter_parse_cached",
+    "event_dispatch",
+]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_suite(quick=True, only=FAST)
+
+
+def test_report_shape(report):
+    assert set(report["benchmarks"]) == set(FAST)
+    for name, data in report["benchmarks"].items():
+        assert data["ops_per_sec"] > 0, name
+        assert data["p50_us"] >= 0, name
+        assert data["p99_us"] >= data["p50_us"], name
+        assert data["iterations"] > 0, name
+
+
+def test_report_is_json_serialisable(report):
+    decoded = json.loads(json.dumps(report))
+    assert decoded["quick"] is True
+    assert decoded["revision"]
+
+
+def test_registry_speedup_recorded(report):
+    # The acceptance bar for the indexed registry: >= 10x over the
+    # linear scan on 1000 services / 10 matching. Benchmarked on the
+    # same data set in the same process, so this is stable even on
+    # noisy CI machines (typically 30-80x).
+    speedup = report["derived"]["registry_lookup_speedup_vs_linear"]
+    assert speedup >= 10.0
+
+
+def test_benchmark_names_cover_suite():
+    full = run_suite(quick=True, only=["network_fanout"])
+    assert "network_fanout" in full["benchmarks"]
+    assert set(FAST) <= set(BENCHMARK_NAMES)
