@@ -1,4 +1,4 @@
-"""``python -m repro`` — a 60-second tour, chaos campaigns, benchmarks.
+"""``python -m repro`` — demo tour, chaos campaigns, benchmarks, linting.
 
 With no subcommand (or ``demo``): builds a 3-node cluster, admits two
 customers (one with a warm standby), injects a crash, and prints the
@@ -6,7 +6,9 @@ dependability story. With ``chaos``: runs a seeded chaos campaign of
 random fault schedules with invariant checking (see docs/FAULTS.md) and
 prints a reproduction snippet for any violation. With ``bench``: runs
 the hot-path microbenchmark suite and writes ``BENCH_<rev>.json`` (see
-docs/PERF.md).
+docs/PERF.md). With ``lint``: runs the sim-safety determinism linter
+over the package (or given paths) and exits non-zero on findings (see
+docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -28,6 +30,10 @@ def main(argv=None) -> int:
         from repro.bench import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] == "demo":
         argv = argv[1:]
     return demo_main(argv)
@@ -138,6 +144,16 @@ def chaos_main(argv=None) -> int:
     result = campaign.run()
     for episode in result.episodes:
         print(" ", episode)
+        if episode.deployment:
+            print(
+                "     deployment verifier: %d finding(s)%s"
+                % (
+                    len(episode.deployment),
+                    "" if episode.deployment_ok else " — ERRORS",
+                )
+            )
+            for diagnostic in episode.deployment:
+                print("      ", diagnostic.format().replace("\n", "\n      "))
         for entry in episode.trace:
             print("    ", entry)
         for violation in episode.violations:
@@ -145,8 +161,23 @@ def chaos_main(argv=None) -> int:
     print("campaign trace digest:", result.trace_digest())
     if result.ok:
         print("all invariants held across %d episodes" % len(result.episodes))
+        if not result.deployment_ok:
+            print(
+                "note: the static bundle verifier flagged the deployment; "
+                "see findings above"
+            )
         return 0
     print("\n%d invariant violations; reproduction:" % len(result.violations))
+    if result.deployment_ok:
+        print(
+            "deployment verdict: statically clean — violations point at a "
+            "platform bug"
+        )
+    else:
+        print(
+            "deployment verdict: verifier errors present — suspect a bad "
+            "deployment before blaming the platform"
+        )
     print(result.snippets[0])
     return 1
 

@@ -1,0 +1,144 @@
+"""Static introspection of bundle activators.
+
+The verifier wants to reason about what an activator *will do* to the
+framework without running it: which interfaces it registers services
+under, and whether its lifecycle is balanced (``get_service`` paired
+with ``unget_service``, ``add_*_listener`` with ``remove_*_listener`` —
+the same discipline :meth:`BundleContext._check_valid` enforces at run
+time for context validity).
+
+Python gives us the activator as a factory callable, so "static" here
+means: locate the activator *class* (without instantiating anything),
+read its source through :mod:`inspect`, and walk the AST of its
+``start``/``stop`` methods. Factories that are not classes (lambdas,
+closures, partials over functions) are skipped — the heuristics only
+ever add findings, never block on missing source.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+
+@dataclass
+class ActivatorReport:
+    """What one activator class's source revealed."""
+
+    class_name: str
+    file: str
+    #: (interface name, file line) per string-literal register_service arg.
+    registered: List[Tuple[str, int]] = field(default_factory=list)
+    #: Callable names invoked (directly or via attributes) inside start().
+    start_calls: Set[str] = field(default_factory=set)
+    #: Callable names invoked inside stop().
+    stop_calls: Set[str] = field(default_factory=set)
+    #: Names invoked anywhere in the class body (helpers included).
+    all_calls: Set[str] = field(default_factory=set)
+    #: Line of the first get_service call in start(), for anchoring.
+    first_get_service_line: int = 0
+    #: add_*_listener call names seen in the class, with first lines.
+    listener_adds: List[Tuple[str, int]] = field(default_factory=list)
+
+
+def resolve_activator_class(factory: object) -> Optional[type]:
+    """Best-effort: the class a zero-arg activator factory instantiates.
+
+    Classes are their own answer; ``functools.partial`` unwraps to its
+    target. Anything else (lambda, closure) would need execution to
+    know, so we decline rather than run user code during verification.
+    """
+    if factory is None:
+        return None
+    if isinstance(factory, type):
+        return factory
+    if isinstance(factory, functools.partial):
+        return resolve_activator_class(factory.func)
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _registered_interfaces(node: ast.Call) -> List[str]:
+    """String-literal interface names of one ``register_service`` call."""
+    if not node.args:
+        return []
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return [first.value]
+    if isinstance(first, (ast.Tuple, ast.List)):
+        return [
+            element.value
+            for element in first.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+    return []
+
+
+def analyze_activator(factory: object) -> Optional[ActivatorReport]:
+    """Parse the activator class's source into an :class:`ActivatorReport`.
+
+    Returns None when the class cannot be located or its source read
+    (C extensions, REPL definitions) — callers treat that as "no
+    findings", never as an error.
+    """
+    cls = resolve_activator_class(factory)
+    if cls is None:
+        return None
+    try:
+        source, start_line = inspect.getsourcelines(cls)
+        filename = inspect.getsourcefile(cls) or "<unknown>"
+    except (OSError, TypeError):
+        return None
+    try:
+        tree = ast.parse(textwrap.dedent("".join(source)))
+    except SyntaxError:  # pragma: no cover - getsource returned garbage
+        return None
+    class_def = next(
+        (node for node in tree.body if isinstance(node, ast.ClassDef)), None
+    )
+    if class_def is None:
+        return None
+
+    report = ActivatorReport(class_name=cls.__name__, file=filename)
+
+    def file_line(node: ast.AST) -> int:
+        # The parsed snippet starts at the class definition line.
+        return start_line + getattr(node, "lineno", 1) - 1
+
+    for method in class_def.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for child in ast.walk(method):
+            if not isinstance(child, ast.Call):
+                continue
+            name = _call_name(child)
+            if name is None:
+                continue
+            report.all_calls.add(name)
+            if method.name == "start":
+                report.start_calls.add(name)
+                if name == "get_service" and report.first_get_service_line == 0:
+                    report.first_get_service_line = file_line(child)
+            elif method.name == "stop":
+                report.stop_calls.add(name)
+            if name == "register_service":
+                for interface in _registered_interfaces(child):
+                    report.registered.append((interface, file_line(child)))
+            if (
+                name.startswith("add_")
+                and name.endswith("_listener")
+                and not any(existing == name for existing, _ in report.listener_adds)
+            ):
+                report.listener_adds.append((name, file_line(child)))
+    return report

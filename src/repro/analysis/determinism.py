@@ -1,0 +1,479 @@
+"""Sim-safety determinism linter: the DET rule family.
+
+The whole reproduction runs on virtual time (:mod:`repro.sim.clock`) and
+seeded random streams (:mod:`repro.sim.rng`); chaos-campaign replay and
+the pinned trace digests depend on that discipline byte-for-byte. These
+AST rules turn the convention into a checkable contract:
+
+``DET001`` wall-clock reads (``time.time``, ``datetime.now`` ...) outside
+the virtual clock. Both calls *and* bare references are flagged — stashing
+``time.perf_counter_ns`` in a variable is how the leak usually happens.
+
+``DET002`` the process-global RNG (``random.random()``, ``random.seed``,
+``from random import choice``) or ad-hoc ``random.Random(...)``
+construction outside :mod:`repro.sim.rng` — randomness must be an
+injected ``random.Random`` drawn from ``RngStreams``.
+
+``DET003`` ``for`` loops over ``set``/``frozenset`` values or
+``dict.values()``/``keys()``/``items()`` whose body schedules events or
+sends messages. Set iteration order depends on ``PYTHONHASHSEED``;
+wrap the iterable in ``sorted(...)`` with an explicit key (or suppress
+with a justification when insertion order is the intended total order).
+
+``DET004`` ``id()`` used in an ordering context — an inequality
+comparison or a ``sorted``/``sort``/``min``/``max`` key. CPython reuses
+object identities, so id-based order differs across runs. Dedup-only
+use (``id(x) in seen``, ``__hash__``) stays clean.
+
+``DET005`` importing ``threading``/``asyncio``/``multiprocessing``
+primitives into the sim — real concurrency breaks the single-threaded
+deterministic event loop.
+
+Suppression syntax lives in :mod:`repro.analysis.suppressions`; the rule
+catalogue with examples is docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.analysis.suppressions import Suppressions, scan_suppressions
+
+#: Rule catalogue: code -> one-line summary (mirrored in docs/ANALYSIS.md).
+DET_RULES: Dict[str, str] = {
+    "DET000": "file could not be parsed",
+    "DET001": "wall-clock read outside the virtual clock",
+    "DET002": "process-global or ad-hoc RNG instead of an injected stream",
+    "DET003": "unordered iteration feeding event scheduling or sends",
+    "DET004": "id() used in an ordering context",
+    "DET005": "thread/async primitives inside the deterministic sim",
+}
+
+#: Files (posix path suffixes) allowed to break a rule by design.
+PATH_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
+    "DET001": ("sim/clock.py",),
+    "DET002": ("sim/rng.py",),
+}
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: random-module functions that draw from the hidden global Mersenne state.
+_GLOBAL_RANDOM_FUNCTIONS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: random-module RNG classes whose construction outside sim/rng.py makes
+#: an unmanaged stream (SystemRandom is additionally never replayable).
+_RANDOM_CLASSES = frozenset({"Random", "SystemRandom"})
+
+_FORBIDDEN_MODULES = frozenset(
+    {"threading", "_thread", "asyncio", "multiprocessing", "concurrent"}
+)
+
+#: Callable names that schedule events or move messages; a DET003 loop
+#: body containing one of these makes the iteration order observable.
+_SCHEDULING_NAMES = frozenset(
+    {
+        "broadcast",
+        "call_after",
+        "call_at",
+        "call_soon",
+        "deliver",
+        "enqueue",
+        "fire_bundle_event",
+        "fire_framework_event",
+        "fire_service_event",
+        "multicast",
+        "schedule",
+        "send",
+        "send_to",
+        "submit",
+    }
+)
+
+#: Wrappers that preserve the underlying iteration order (so looking
+#: through them keeps DET003 precise); ``sorted`` intentionally absent.
+_ORDER_PRESERVING_WRAPPERS = frozenset({"list", "tuple", "reversed", "enumerate"})
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+        and len(node.args) == 1
+    )
+
+
+def _contains_id_call(node: ast.AST) -> bool:
+    return any(_is_id_call(child) for child in ast.walk(node))
+
+
+class _FileVisitor(ast.NodeVisitor):
+    """One pass over a module collecting DET diagnostics."""
+
+    def __init__(self, rel_path: str, select: Optional[Set[str]]) -> None:
+        self.rel_path = rel_path
+        self.select = select
+        self.diagnostics: List[Diagnostic] = []
+        #: local name -> dotted origin ("t" -> "time", "now" -> "datetime.datetime.now")
+        self._aliases: Dict[str, str] = {}
+
+    # -- reporting ------------------------------------------------------
+    def _enabled(self, code: str) -> bool:
+        if self.select is not None and code not in self.select:
+            return False
+        for suffix in PATH_ALLOWLIST.get(code, ()):
+            if self.rel_path.endswith(suffix):
+                return False
+        return True
+
+    def _report(
+        self,
+        code: str,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        if not self._enabled(code):
+            return
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                source=self.rel_path,
+                line=getattr(node, "lineno", 0),
+                message=message,
+                hint=hint,
+            )
+        )
+
+    # -- import tracking + DET005 --------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            origin = alias.name if alias.asname else alias.name.split(".")[0]
+            self._aliases[local] = origin
+            self._check_forbidden_module(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self._aliases[local] = "%s.%s" % (module, alias.name) if module else alias.name
+        self._check_forbidden_module(node, module)
+        if module == "random":
+            bad = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in _GLOBAL_RANDOM_FUNCTIONS
+            )
+            if bad:
+                self._report(
+                    "DET002",
+                    node,
+                    "import of process-global random function%s %s"
+                    % ("s" if len(bad) > 1 else "", ", ".join(bad)),
+                    hint="take an injected random.Random (see repro.sim.rng.RngStreams)",
+                )
+        self.generic_visit(node)
+
+    def _check_forbidden_module(self, node: ast.AST, module: str) -> None:
+        root = module.split(".")[0] if module else ""
+        if root in _FORBIDDEN_MODULES:
+            self._report(
+                "DET005",
+                node,
+                "import of %r — concurrency primitives break the deterministic sim"
+                % module,
+                hint="model concurrency as events on repro.sim.eventloop.EventLoop",
+            )
+
+    # -- DET001 / DET002 ------------------------------------------------
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        origin = self._aliases.get(root)
+        if origin is None:
+            return dotted
+        return origin + ("." + rest if rest else "")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        resolved = self._resolve(node)
+        if resolved in _WALL_CLOCK:
+            self._report(
+                "DET001",
+                node,
+                "wall-clock reference %s" % resolved,
+                hint="take the sim Clock (repro.sim.clock) instead of host time",
+            )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            resolved = self._aliases.get(node.id)
+            if resolved in _WALL_CLOCK:
+                self._report(
+                    "DET001",
+                    node,
+                    "wall-clock reference %s" % resolved,
+                    hint="take the sim Clock (repro.sim.clock) instead of host time",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is not None and "." in resolved:
+            module, _, attr = resolved.rpartition(".")
+            if module == "random" and attr in _GLOBAL_RANDOM_FUNCTIONS:
+                self._report(
+                    "DET002",
+                    node,
+                    "call to process-global random.%s()" % attr,
+                    hint="draw from an injected random.Random stream "
+                    "(repro.sim.rng.RngStreams)",
+                )
+            elif module == "random" and attr in _RANDOM_CLASSES:
+                self._report(
+                    "DET002",
+                    node,
+                    "ad-hoc random.%s construction outside repro.sim.rng" % attr,
+                    hint="derive streams from RngStreams so seeds stay "
+                    "comparable across runs",
+                )
+        self._check_sort_key(node)
+        self.generic_visit(node)
+
+    # -- DET004 ---------------------------------------------------------
+    _ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, self._ORDERING_OPS) for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            if any(_contains_id_call(operand) for operand in operands):
+                self._report(
+                    "DET004",
+                    node,
+                    "id() compared with an ordering operator",
+                    hint="order by a stable key (service.id, name, sequence "
+                    "number); id() is only safe for dedup/hashing",
+                )
+        self.generic_visit(node)
+
+    def _check_sort_key(self, node: ast.Call) -> None:
+        func_name = None
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+        if func_name not in ("sorted", "sort", "min", "max", "insort", "nsmallest", "nlargest"):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "key" and _contains_id_call(keyword.value):
+                self._report(
+                    "DET004",
+                    node,
+                    "id() used inside a %s key" % func_name,
+                    hint="order by a stable key (service.id, name, sequence "
+                    "number); id() is only safe for dedup/hashing",
+                )
+
+    # -- DET003 ---------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        shape = self._unordered_shape(node.iter)
+        if shape is not None:
+            offender = self._scheduling_call(node.body)
+            if offender is not None:
+                self._report(
+                    "DET003",
+                    node,
+                    "iteration over %s drives %s() — order depends on "
+                    "PYTHONHASHSEED or insertion history" % (shape, offender),
+                    hint="iterate sorted(..., key=...) with an explicit key, "
+                    "or suppress with a justification if insertion order "
+                    "is the intended total order",
+                    # A heuristic, not a proof: insertion order may well be
+                    # the intended total order. --strict promotes it.
+                    severity=Severity.WARNING,
+                )
+        self.generic_visit(node)
+
+    def _unordered_shape(self, node: ast.AST) -> Optional[str]:
+        while (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_PRESERVING_WRAPPERS
+            and node.args
+        ):
+            node = node.args[0]
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "values",
+                "keys",
+                "items",
+            ):
+                return "dict.%s()" % node.func.attr
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return "%s()" % node.func.id
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set expression"
+        return None
+
+    def _scheduling_call(self, body: Sequence[ast.stmt]) -> Optional[str]:
+        for statement in body:
+            for child in ast.walk(statement):
+                if not isinstance(child, ast.Call):
+                    continue
+                name = None
+                if isinstance(child.func, ast.Attribute):
+                    name = child.func.attr
+                elif isinstance(child.func, ast.Name):
+                    name = child.func.id
+                if name in _SCHEDULING_NAMES:
+                    return name
+        return None
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Outcome of one lint run: findings plus what was scanned."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    select: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one module's text; ``rel_path`` is the reported source label."""
+    selected = {c.upper() for c in select} if select is not None else None
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                code="DET000",
+                severity=Severity.ERROR,
+                source=rel_path,
+                line=exc.lineno or 0,
+                message="file could not be parsed: %s" % exc.msg,
+            )
+        ]
+    visitor = _FileVisitor(rel_path, selected)
+    visitor.visit(tree)
+    suppressions = scan_suppressions(source)
+    return [
+        diagnostic
+        for diagnostic in visitor.diagnostics
+        if not suppressions.is_suppressed(diagnostic.code, diagnostic.line)
+    ]
+
+
+def collect_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        out.append(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            out.append(path)
+    return sorted(dict.fromkeys(out))
+
+
+def lint_paths(
+    paths: Iterable[str],
+    root: Optional[str] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every ``.py`` under ``paths``; labels are relative to ``root``."""
+    result = LintResult()
+    for path in collect_python_files(paths):
+        rel = os.path.relpath(path, root) if root else path
+        if rel.startswith(".."):
+            rel = path  # outside the root: keep the caller's spelling
+        rel = rel.replace(os.sep, "/")
+        result.files.append(rel)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        result.diagnostics.extend(lint_source(source, rel, select=select))
+    result.diagnostics = sort_diagnostics(result.diagnostics)
+    return result

@@ -1,0 +1,83 @@
+"""Suppression comments: opting intentional code out of single rules.
+
+Two directive forms, both requiring an explicit rule list (there is no
+blanket ``allow-everything`` on purpose):
+
+* line level — suppresses the named rules for findings reported on the
+  same line::
+
+      busy_wait = time.monotonic  # repro: allow[DET001] -- measuring host jitter
+
+* file level — suppresses the named rules for the whole file; put it
+  near the top with a justification::
+
+      # repro: allow-file[DET002] -- the one sanctioned Random construction site
+
+Everything after ``--`` is a free-form justification. Multiple codes
+separate with commas: ``allow[DET001,DET004]``. Findings on multi-line
+statements anchor to the statement's first line, so that is where the
+line-level comment must sit.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>allow|allow-file)\[(?P<codes>[A-Za-z0-9_,\s]+)\]"
+)
+
+
+class Suppressions:
+    """Parsed suppression directives of one source file."""
+
+    def __init__(self) -> None:
+        self.file_codes: Set[str] = set()
+        self.line_codes: Dict[int, Set[str]] = {}
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self.file_codes:
+            return True
+        return code in self.line_codes.get(line, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Suppressions(file=%s, lines=%d)" % (
+            sorted(self.file_codes),
+            len(self.line_codes),
+        )
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Extract suppression directives from ``source``.
+
+    Tokenizes so that directive-looking text inside string literals is
+    ignored; an untokenizable file simply yields no suppressions (the
+    linter will report the syntax error separately).
+    """
+    suppressions = Suppressions()
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            }
+            if not codes:
+                continue
+            if match.group("kind") == "allow-file":
+                suppressions.file_codes |= codes
+            else:
+                line = token.start[0]
+                suppressions.line_codes.setdefault(line, set()).update(codes)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return suppressions

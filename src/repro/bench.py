@@ -23,6 +23,9 @@ import sys
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+# repro: allow-file[DET001] -- benchmarks measure real elapsed wall
+# time by design; nothing here feeds back into simulated state.
+
 __all__ = ["run_suite", "bench_main", "BENCHMARK_NAMES"]
 
 BENCHMARK_NAMES = (

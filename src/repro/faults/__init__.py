@@ -24,6 +24,7 @@ from repro.faults.campaign import (
     Episode,
     default_scenario,
     replay_schedule,
+    verify_deployment,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import (
@@ -53,6 +54,7 @@ __all__ = [
     "Episode",
     "default_scenario",
     "replay_schedule",
+    "verify_deployment",
     "FaultInjector",
     "Invariant",
     "InvariantChecker",

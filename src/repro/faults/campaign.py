@@ -20,6 +20,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis.bundles import verify_bundles
+from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import (
     InvariantChecker,
@@ -67,6 +69,41 @@ def default_scenario(seed: int) -> Any:
     return env
 
 
+def verify_deployment(env: Any) -> List[Diagnostic]:
+    """Run the static bundle verifier over every framework in ``env``.
+
+    Covers each node's host platform framework and every virtual
+    instance's child framework; diagnostics get the owning framework's
+    ``instance_id`` prefixed to their source so a campaign report pins
+    the offending deployment. Pure inspection — no events are scheduled
+    and no RNG is drawn, so trace digests are unaffected.
+    """
+    out: List[Diagnostic] = []
+    for node in env.cluster.nodes():
+        frameworks = []
+        if getattr(node, "framework", None) is not None:
+            frameworks.append(node.framework)
+        for instance in node.instances():
+            if getattr(instance, "framework", None) is not None:
+                frameworks.append(instance.framework)
+        for framework in frameworks:
+            definitions = [b.definition for b in framework.bundles()]
+            for diagnostic in verify_bundles(
+                definitions, context=[framework.system_bundle.definition]
+            ):
+                out.append(
+                    Diagnostic(
+                        code=diagnostic.code,
+                        severity=diagnostic.severity,
+                        source="%s:%s" % (framework.instance_id, diagnostic.source),
+                        line=diagnostic.line,
+                        message=diagnostic.message,
+                        hint=diagnostic.hint,
+                    )
+                )
+    return out
+
+
 def replay_schedule(
     env: Any,
     schedule: FaultSchedule,
@@ -107,10 +144,18 @@ class Episode:
     violations: List[Violation]
     checks_run: int
     invariant_names: List[str] = field(default_factory=list)
+    #: Static bundle-verifier findings on the episode's deployed bundle
+    #: sets, captured at scenario setup (see :func:`verify_deployment`).
+    deployment: List[Diagnostic] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def deployment_ok(self) -> bool:
+        """No error-severity verifier finding on the deployed bundles."""
+        return not any(d.severity is Severity.ERROR for d in self.deployment)
 
     def digest(self) -> str:
         return self.trace.digest()
@@ -143,6 +188,22 @@ class CampaignResult:
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def deployment_ok(self) -> bool:
+        """Every episode's deployed bundle set passed static verification.
+
+        Separates "bad deployment" (fix the bundles) from "platform bug"
+        (an invariant violation on a statically clean deployment).
+        """
+        return all(episode.deployment_ok for episode in self.episodes)
+
+    @property
+    def deployment_diagnostics(self) -> "List[Diagnostic]":
+        out: "List[Diagnostic]" = []
+        for episode in self.episodes:
+            out.extend(episode.deployment)
+        return out
 
     def trace_digest(self) -> str:
         """One fingerprint over every episode trace, order-sensitive."""
@@ -218,6 +279,10 @@ class ChaosCampaign:
     def run_episode(self, index: int) -> Episode:
         episode_seed = derive_episode_seed(self.seed, index)
         env = self.scenario_factory(episode_seed)
+        # Verdict on the freshly-built deployment, before any fault runs:
+        # a chaos failure on a statically dirty bundle set is a
+        # deployment problem, not (necessarily) a platform bug.
+        deployment = verify_deployment(env)
         node_ids = [n.node_id for n in env.cluster.nodes()]
         rng = env.cluster.rng.stream("faults")
         if self.schedule_factory is not None:
@@ -251,6 +316,7 @@ class ChaosCampaign:
             violations=violations,
             checks_run=checks,
             invariant_names=registry.names(),
+            deployment=deployment,
         )
 
     # ------------------------------------------------------------------

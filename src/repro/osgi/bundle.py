@@ -284,10 +284,15 @@ class BundleContext:
 
     # -- bundle management ------------------------------------------------
     def install_bundle(
-        self, definition: BundleDefinition, location: Optional[str] = None
+        self,
+        definition: BundleDefinition,
+        location: Optional[str] = None,
+        verify: bool = False,
     ) -> Bundle:
+        """Install through this context; ``verify=True`` runs the static
+        bundle verifier first (see :meth:`Framework.install`)."""
         self._check_valid()
-        return self._bundle.framework.install(definition, location)
+        return self._bundle.framework.install(definition, location, verify=verify)
 
     def get_bundle(self, bundle_id: int) -> Optional[Bundle]:
         self._check_valid()

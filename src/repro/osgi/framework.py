@@ -226,9 +226,22 @@ class Framework:
         return self.start_levels.level
 
     def install(
-        self, definition: BundleDefinition, location: Optional[str] = None
+        self,
+        definition: BundleDefinition,
+        location: Optional[str] = None,
+        verify: bool = False,
     ) -> Bundle:
-        """Install a bundle; same location returns the existing bundle."""
+        """Install a bundle; same location returns the existing bundle.
+
+        With ``verify=True`` the static bundle verifier
+        (:func:`repro.analysis.bundles.verify_install`) checks the
+        definition against the installed population first and any
+        error-severity diagnostic rejects the install with a
+        :class:`~repro.osgi.errors.VerificationError` carrying the full
+        diagnostic list — the paper's "explicit export checking" applied
+        before a single lifecycle event fires. Reinstalling an existing
+        location returns the live bundle without re-verification.
+        """
         if not self.active:
             raise FrameworkError(
                 "framework %s is not active; cannot install" % self.instance_id
@@ -241,6 +254,16 @@ class Framework:
         for bundle in self._bundles.values():
             if bundle.location == location:
                 return bundle
+        if verify:
+            # Imported here so repro.osgi stays importable without the
+            # analysis package (strict downward layering otherwise).
+            from repro.analysis.bundles import verify_install
+
+            diagnostics = verify_install(self, definition)
+            if any(d.severity.value == "error" for d in diagnostics):
+                from repro.osgi.errors import VerificationError
+
+                raise VerificationError(definition.symbolic_name, diagnostics)
         bundle = Bundle(self, self._next_bundle_id, definition, location)
         self._next_bundle_id += 1
         self._bundles[bundle.bundle_id] = bundle
@@ -370,6 +393,17 @@ class Framework:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def installed_definitions(self) -> List[BundleDefinition]:
+        """Definitions of every installed bundle plus the system bundle.
+
+        The bundle-set view the static verifier and the chaos deployment
+        verdicts consume; the system bundle comes last so diagnostics
+        read in install order.
+        """
+        return [b.definition for b in self.bundles()] + [
+            self._system_bundle.definition
+        ]
+
     def memory_footprint(self) -> int:
         """Notional resident bytes: bundle archives + live service overhead.
 

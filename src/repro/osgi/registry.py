@@ -291,12 +291,15 @@ class ServiceRegistry:
                 # The filter pins the objectClass: merge candidate buckets
                 # (a service registered under several candidate classes
                 # appears once) instead of scanning every registration.
+                # Dedup is keyed by service.id — stable across interpreter
+                # identity reuse, unlike id().
                 seen: set = set()
                 out = []
                 for name in candidates:
                     for r in self._by_class.get(name, ()):
-                        if id(r) not in seen and parsed.matches(r._properties):
-                            seen.add(id(r))
+                        service_id = r._properties[SERVICE_ID]
+                        if service_id not in seen and parsed.matches(r._properties):
+                            seen.add(service_id)
                             out.append(r._reference)
                 out.sort(key=lambda ref: ref._sort_key())
                 return out

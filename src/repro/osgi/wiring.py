@@ -15,7 +15,7 @@ records the omission.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Set, TYPE_CHECKING
 
 from repro.osgi.errors import ResolutionError
 from repro.osgi.manifest import ExportedPackage, ImportedPackage, RequiredBundle
@@ -255,6 +255,60 @@ class Resolver:
             "cannot resolve %s: imports individually satisfiable but no "
             "consistent wiring exists" % bundle.symbolic_name
         )
+
+
+# ----------------------------------------------------------------------
+# Static introspection helpers
+# ----------------------------------------------------------------------
+def static_import_candidates(
+    definitions: "Sequence[object]",
+    imported: ImportedPackage,
+    importer: "Optional[object]" = None,
+) -> "List[tuple[object, ExportedPackage]]":
+    """Exporter candidates for ``imported`` among bare definitions.
+
+    The definition-level mirror of :meth:`Resolver._candidates`: same
+    name/version-range matching, same exclusion of the importer itself,
+    ordered best-first by (export version descending, symbolic name).
+    The static bundle verifier (:mod:`repro.analysis.bundles`) leans on
+    this sharing to stay sound with respect to the resolver.
+    """
+    found: "List[tuple[object, ExportedPackage]]" = []
+    for definition in definitions:
+        if importer is not None and definition is importer:
+            continue
+        for export in definition.manifest.exports:
+            if export.name != imported.name:
+                continue
+            if not imported.version_range.includes(export.version):
+                continue
+            found.append((definition, export))
+    found.sort(
+        key=lambda pair: (
+            _negate_version(pair[1].version),
+            pair[0].symbolic_name,
+        )
+    )
+    return found
+
+
+def static_require_candidates(
+    definitions: "Sequence[object]",
+    required: RequiredBundle,
+    requirer: "Optional[object]" = None,
+) -> "List[object]":
+    """Definition-level mirror of :meth:`Resolver._require_candidates`."""
+    found: "List[object]" = []
+    for definition in definitions:
+        if requirer is not None and definition is requirer:
+            continue
+        if definition.symbolic_name != required.symbolic_name:
+            continue
+        if not required.version_range.includes(definition.version):
+            continue
+        found.append(definition)
+    found.sort(key=lambda d: (_negate_version(d.version), d.symbolic_name))
+    return found
 
 
 class _NegatedVersion:

@@ -7,6 +7,9 @@ repeatable. The clock only moves forward; the event loop owns advancing it.
 
 from __future__ import annotations
 
+# repro: allow-file[DET001] -- this module IS the sanctioned time
+# authority; everything else must take a Clock instead of host time.
+
 
 class Clock:
     """A monotonically non-decreasing virtual clock, in seconds.

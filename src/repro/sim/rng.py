@@ -12,6 +12,9 @@ import hashlib
 import random
 from typing import Dict
 
+# repro: allow-file[DET002] -- the one sanctioned random.Random
+# construction site; every other component takes an injected stream.
+
 
 class RngStreams:
     """Factory of independent ``random.Random`` streams keyed by name."""

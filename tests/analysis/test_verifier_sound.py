@@ -1,0 +1,114 @@
+"""Soundness of the static verifier w.r.t. the real resolver.
+
+Property: any bundle set the verifier accepts with **zero errors** also
+resolves in :mod:`repro.osgi.wiring` — installing every bundle into a
+fresh framework and resolving raises no :class:`ResolutionError`. The
+verifier shares the resolver's candidate-matching helpers, so a
+divergence here means one of the two drifted.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Severity, verify_bundles
+from repro.osgi.definition import simple_bundle
+from repro.osgi.errors import BundleException
+from repro.osgi.framework import Framework
+
+PACKAGES = ["pkg.alpha", "pkg.beta", "pkg.gamma", "pkg.delta"]
+VERSIONS = ["1.0.0", "2.0.0"]
+# Ranges chosen to cover: match-all, exact-major windows, a window that
+# excludes every offered version, and the impossible empty range.
+RANGES = ["", "[1.0,2.0)", "[2.0,3.0)", "[1.0,3.0)", "[3.0,4.0)", "[1.0,1.0)"]
+
+
+def import_clause(draw, package):
+    rng = draw(st.sampled_from(RANGES))
+    optional = draw(st.booleans())
+    clause = package
+    if rng:
+        clause += ';version="%s"' % rng
+    if optional:
+        clause += ";resolution:=optional"
+    return clause
+
+
+@st.composite
+def bundle_spec(draw, index):
+    exports = draw(
+        st.lists(
+            st.tuples(st.sampled_from(PACKAGES), st.sampled_from(VERSIONS)),
+            max_size=2,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    # The manifest rejects duplicate Import-Package clauses, so draw a
+    # unique subset of package names first.
+    imported_names = draw(
+        st.lists(st.sampled_from(PACKAGES), max_size=3, unique=True)
+    )
+    imports = [import_clause(draw, name) for name in imported_names]
+    return {
+        "symbolic_name": "b%d" % index,
+        "version": draw(st.sampled_from(VERSIONS)),
+        "imports": tuple(imports),
+        "exports": tuple(
+            '%s;version="%s"' % (name, version) for name, version in exports
+        ),
+        "packages": {name: {} for name, _ in exports},
+    }
+
+
+@st.composite
+def bundle_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=5))
+    return [draw(bundle_spec(index)) for index in range(count)]
+
+
+@settings(max_examples=200, deadline=None)
+@given(bundle_sets())
+def test_verifier_accept_implies_resolver_success(specs):
+    definitions = [simple_bundle(**spec) for spec in specs]
+    diagnostics = verify_bundles(definitions, check_activators=False)
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors:
+        return  # rejected sets carry no resolution promise
+
+    framework = Framework("sound")
+    framework.start()
+    bundles = [framework.install(definition) for definition in definitions]
+    for bundle in bundles:
+        try:
+            bundle.start()
+        except BundleException as exc:  # pragma: no cover - the property
+            raise AssertionError(
+                "verifier accepted %r but the resolver refused: %s"
+                % ([d.symbolic_name for d in definitions], exc)
+            )
+        assert bundle.state.name == "ACTIVE"
+    framework.stop()
+
+
+@settings(max_examples=200, deadline=None)
+@given(bundle_sets())
+def test_verifier_matches_resolver_per_mandatory_import(specs):
+    """Sharper alignment check: VER001 fires for exactly the mandatory
+    imports the resolver's own candidate search finds empty."""
+    from repro.osgi.wiring import static_import_candidates
+
+    definitions = [simple_bundle(**spec) for spec in specs]
+    diagnostics = verify_bundles(definitions, check_activators=False)
+    flagged = {
+        (d.source, d.message.split()[1].split(";")[0])
+        for d in diagnostics
+        if d.code == "VER001"
+    }
+    expected = set()
+    for definition in definitions:
+        for imported in definition.manifest.imports:
+            if imported.optional or imported.version_range.is_empty():
+                continue
+            if not static_import_candidates(
+                definitions, imported, importer=definition
+            ):
+                expected.add((definition.symbolic_name, imported.name))
+    assert flagged == expected

@@ -1,0 +1,73 @@
+"""Deployment verdicts: the static bundle verifier wired into chaos
+campaigns separates "bad deployment" from "platform bug"."""
+
+from repro.analysis import Severity
+from repro.faults import ChaosCampaign, verify_deployment
+from repro.faults.campaign import default_scenario, derive_episode_seed
+from repro.osgi.definition import simple_bundle
+
+
+def quick_campaign(**overrides) -> ChaosCampaign:
+    settings = dict(
+        seed=7,
+        episodes=1,
+        episode_duration=6.0,
+        settle=4.0,
+        check_interval=1.0,
+        mean_gap=2.5,
+    )
+    settings.update(overrides)
+    return ChaosCampaign(**settings)
+
+
+def test_default_scenario_is_deployment_clean():
+    """The stock chaos target must carry no verifier findings at all —
+    otherwise every campaign report would open with noise."""
+    env = default_scenario(derive_episode_seed(7, 0))
+    assert verify_deployment(env) == []
+
+
+def test_episode_carries_deployment_verdict():
+    result = quick_campaign().run()
+    episode = result.episodes[0]
+    assert episode.deployment == []
+    assert episode.deployment_ok
+    assert result.deployment_ok
+    assert result.deployment_diagnostics == []
+
+
+def test_dirty_deployment_is_flagged_with_instance_prefix():
+    env = default_scenario(derive_episode_seed(7, 0))
+    node = env.cluster.alive_nodes()[0]
+    bad = simple_bundle("rogue", imports=("missing.pkg",))
+    node.framework.install(bad)
+
+    diagnostics = verify_deployment(env)
+    assert [d.code for d in diagnostics] == ["VER001"]
+    diagnostic = diagnostics[0]
+    assert diagnostic.severity is Severity.ERROR
+    # Source pins the owning framework: "<instance_id>:<bundle>".
+    assert diagnostic.source.endswith(":rogue")
+    assert node.framework.instance_id in diagnostic.source
+
+
+def test_dirty_scenario_flips_deployment_ok():
+    def dirty_scenario(seed):
+        env = default_scenario(seed)
+        node = env.cluster.alive_nodes()[0]
+        node.framework.install(simple_bundle("rogue", imports=("missing.pkg",)))
+        return env
+
+    result = quick_campaign(scenario_factory=dirty_scenario).run()
+    episode = result.episodes[0]
+    assert not episode.deployment_ok
+    assert not result.deployment_ok
+    assert any(d.code == "VER001" for d in result.deployment_diagnostics)
+
+
+def test_verification_does_not_disturb_trace_determinism():
+    """verify_deployment is pure inspection: a campaign with it (always
+    on) must digest identically to an independent second run."""
+    first = quick_campaign().run()
+    second = quick_campaign().run()
+    assert first.trace_digest() == second.trace_digest()

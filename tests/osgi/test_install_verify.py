@@ -1,0 +1,103 @@
+"""``Framework.install(..., verify=True)``: the static verifier as an
+install-time gate, raising VerificationError with the same diagnostic
+codes the CLI reports."""
+
+import pytest
+
+from repro.osgi.definition import simple_bundle
+from repro.osgi.errors import BundleException, VerificationError
+from repro.osgi.framework import Framework
+
+
+@pytest.fixture
+def framework():
+    fw = Framework("verify-test")
+    fw.start()
+    yield fw
+    fw.stop()
+
+
+def exporter(version="1.0.0"):
+    return simple_bundle(
+        "exp",
+        version=version,
+        exports=('pkg.api;version="%s"' % version,),
+        packages={"pkg.api": {}},
+    )
+
+
+def test_unresolvable_import_is_rejected(framework):
+    bad = simple_bundle("imp", imports=("missing.pkg",))
+    with pytest.raises(VerificationError) as excinfo:
+        framework.install(bad, verify=True)
+    error = excinfo.value
+    assert isinstance(error, BundleException)
+    assert [d.code for d in error.diagnostics] == ["VER001"]
+    assert "imp" in str(error)
+    assert "VER001" in str(error)
+    # The rejected bundle must not be left half-installed.
+    assert [b.symbolic_name for b in framework.bundles()] == []
+
+
+def test_diagnostics_round_trip_like_the_cli(framework):
+    """The exception carries the same Diagnostic objects the CLI would
+    serialise — to_dict() gives the identical JSON shape."""
+    bad = simple_bundle("imp", imports=("missing.pkg",))
+    with pytest.raises(VerificationError) as excinfo:
+        framework.install(bad, verify=True)
+    payload = [d.to_dict() for d in excinfo.value.diagnostics]
+    assert payload[0]["code"] == "VER001"
+    assert payload[0]["severity"] == "error"
+    assert payload[0]["source"] == "imp"
+
+
+def test_installed_exporter_satisfies_the_import(framework):
+    framework.install(exporter(), verify=True)
+    consumer = simple_bundle("imp", imports=('pkg.api;version="[1.0,2.0)"',))
+    bundle = framework.install(consumer, verify=True)
+    bundle.start()
+    assert bundle.state.name == "ACTIVE"
+
+
+def test_system_bundle_exports_count_as_context(framework):
+    consumer = simple_bundle("fw-user", imports=("org.osgi.framework",))
+    bundle = framework.install(consumer, verify=True)
+    assert bundle.symbolic_name == "fw-user"
+
+
+def test_verify_defaults_off(framework):
+    # Without verify=True an unresolvable import still installs fine and
+    # only fails at resolution time — the pre-existing contract.
+    bad = simple_bundle("imp", imports=("missing.pkg",))
+    bundle = framework.install(bad)
+    assert bundle.symbolic_name == "imp"
+
+
+def test_warnings_do_not_block_install(framework):
+    a = exporter()
+    framework.install(a, verify=True)
+    # Duplicate export at the same version is VER003, a warning.
+    duplicate = simple_bundle(
+        "exp2", exports=('pkg.api;version="1.0.0"',), packages={"pkg.api": {}}
+    )
+    bundle = framework.install(duplicate, verify=True)
+    assert bundle.symbolic_name == "exp2"
+
+
+def test_reinstall_same_location_skips_verification(framework):
+    bad = simple_bundle("imp", imports=("missing.pkg",))
+    first = framework.install(bad, location="bundle://imp")
+    # Reinstalling an existing location returns the live bundle; OSGi
+    # semantics say this is not a fresh install, so no re-verification.
+    again = framework.install(bad, location="bundle://imp", verify=True)
+    assert again is first
+
+
+def test_context_install_bundle_passes_verify_through(framework):
+    host = framework.install(exporter())
+    host.start()
+    bad = simple_bundle("imp", imports=("missing.pkg",))
+    with pytest.raises(VerificationError):
+        host.context.install_bundle(bad, verify=True)
+    good = simple_bundle("imp2", imports=("pkg.api",))
+    assert host.context.install_bundle(good, verify=True).symbolic_name == "imp2"

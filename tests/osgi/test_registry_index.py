@@ -134,3 +134,40 @@ def test_randomized_ops_match_linear_model(registry):
         assert registry.get_references(clazz, flt) == linear_model(
             registry, clazz, flt
         ), "divergence at step %d" % step
+
+
+def test_candidate_merge_dedup_is_keyed_by_service_id(registry):
+    """Regression for the ``id(r)``-keyed seen-set in the filter-driven
+    candidate merge: dedup must key on ``service.id`` so results are
+    stable facts about the registration, not about interpreter object
+    identity (which CPython reuses across the lifetime of a process).
+
+    A service registered under several classes matched by one OR filter
+    is the merge path's worst case: it appears in every candidate
+    bucket and must come back exactly once, best-first.
+    """
+    tri = registry.register(
+        object(), ("a", "b", "c"), object(), {"service.ranking": 1}
+    )
+    only_b = registry.register(object(), "b", object(), {"service.ranking": 7})
+    flt = parse_filter("(|(objectClass=a)(objectClass=b)(objectClass=c))")
+
+    for _ in range(50):  # repeated merges over the same buckets
+        refs = registry.get_references(filter=flt)
+        assert refs == [only_b.reference, tri.reference]
+        assert len(set(ids(refs))) == len(refs)
+        assert refs == linear_model(registry, flt=flt)
+
+    # Churn that recycles object identities: unregister/re-register other
+    # services so fresh references reuse freed addresses, then re-query.
+    for round_number in range(5):
+        extras = [
+            registry.register(object(), "a", object(), {"service.ranking": -1})
+            for _ in range(20)
+        ]
+        refs = registry.get_references(filter=flt)
+        assert refs[:2] == [only_b.reference, tri.reference]
+        assert len(set(ids(refs))) == len(refs)
+        assert refs == linear_model(registry, flt=flt)
+        for extra in extras:
+            extra.unregister()
