@@ -16,6 +16,8 @@ The package implements, from scratch and in pure Python:
 * the base services the paper's prototype exported — log, HTTP, JMX —
   plus EventAdmin (:mod:`repro.services`), and reusable customer
   workloads (:mod:`repro.workloads`),
+* causal distributed tracing and metrics over virtual time
+  (:mod:`repro.telemetry`),
 * and the integrating platform facade (:mod:`repro.core`).
 
 Quickstart::

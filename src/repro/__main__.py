@@ -8,7 +8,8 @@ prints a reproduction snippet for any violation. With ``bench``: runs
 the hot-path microbenchmark suite and writes ``BENCH_<rev>.json`` (see
 docs/PERF.md). With ``lint``: runs the sim-safety determinism linter
 over the package (or given paths) and exits non-zero on findings (see
-docs/ANALYSIS.md).
+docs/ANALYSIS.md). With ``trace``: runs a telemetry-enabled scenario and
+exports a Chrome ``trace_event`` file (see docs/TELEMETRY.md).
 """
 
 from __future__ import annotations
@@ -34,6 +35,10 @@ def main(argv=None) -> int:
         from repro.analysis.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.telemetry.cli import trace_main
+
+        return trace_main(argv[1:])
     if argv and argv[0] == "demo":
         argv = argv[1:]
     return demo_main(argv)

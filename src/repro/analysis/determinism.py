@@ -29,6 +29,13 @@ use (``id(x) in seen``, ``__hash__``) stays clean.
 primitives into the sim — real concurrency breaks the single-threaded
 deterministic event loop.
 
+``DET006`` a suppression directive (``# repro: allow[...]`` or
+``allow-file[...]``) inside a suppression-free zone
+(:data:`SUPPRESSION_FREE_ZONES`). The telemetry package is the
+measurement instrument the other rules protect, so it may not even
+*carry* an opt-out; directives found there are reported and **void** —
+the findings they would have hidden are still emitted.
+
 Suppression syntax lives in :mod:`repro.analysis.suppressions`; the rule
 catalogue with examples is docs/ANALYSIS.md.
 """
@@ -51,6 +58,7 @@ DET_RULES: Dict[str, str] = {
     "DET003": "unordered iteration feeding event scheduling or sends",
     "DET004": "id() used in an ordering context",
     "DET005": "thread/async primitives inside the deterministic sim",
+    "DET006": "suppression directive inside a suppression-free zone",
 }
 
 #: Files (posix path suffixes) allowed to break a rule by design.
@@ -58,6 +66,17 @@ PATH_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
     "DET001": ("sim/clock.py",),
     "DET002": ("sim/rng.py",),
 }
+
+#: Path prefixes (posix, relative to the lint root) where suppression
+#: directives are forbidden and inert. The telemetry subsystem is the
+#: measurement instrument everything else is audited with — it must stay
+#: clean without exceptions.
+SUPPRESSION_FREE_ZONES: Tuple[str, ...] = ("repro/telemetry/",)
+
+
+def _in_suppression_free_zone(rel_path: str) -> bool:
+    posix = rel_path.replace(os.sep, "/")
+    return any(zone in posix for zone in SUPPRESSION_FREE_ZONES)
 
 _WALL_CLOCK = frozenset(
     {
@@ -436,6 +455,24 @@ def lint_source(
     visitor = _FileVisitor(rel_path, selected)
     visitor.visit(tree)
     suppressions = scan_suppressions(source)
+    if _in_suppression_free_zone(rel_path):
+        # Directives here are void: report each one and keep every finding.
+        diagnostics = list(visitor.diagnostics)
+        if selected is None or "DET006" in selected:
+            for line, kind, codes in suppressions.directives:
+                diagnostics.append(
+                    Diagnostic(
+                        code="DET006",
+                        severity=Severity.ERROR,
+                        source=rel_path,
+                        line=line,
+                        message="%s[%s] directive in suppression-free zone"
+                        % (kind, ",".join(codes)),
+                        hint="repro/telemetry must stay lint-clean without "
+                        "opt-outs; fix the finding instead",
+                    )
+                )
+        return diagnostics
     return [
         diagnostic
         for diagnostic in visitor.diagnostics

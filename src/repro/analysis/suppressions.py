@@ -24,7 +24,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, Set
+from typing import Dict, List, Set, Tuple
 
 _DIRECTIVE_RE = re.compile(
     r"#\s*repro:\s*(?P<kind>allow|allow-file)\[(?P<codes>[A-Za-z0-9_,\s]+)\]"
@@ -37,6 +37,10 @@ class Suppressions:
     def __init__(self) -> None:
         self.file_codes: Set[str] = set()
         self.line_codes: Dict[int, Set[str]] = {}
+        #: Every directive as written: (line, kind, sorted codes). Lets
+        #: the linter police *where* suppressions appear (DET006's
+        #: suppression-free zones), not just apply them.
+        self.directives: List[Tuple[int, str, Tuple[str, ...]]] = []
 
     def is_suppressed(self, code: str, line: int) -> bool:
         if code in self.file_codes:
@@ -73,10 +77,12 @@ def scan_suppressions(source: str) -> Suppressions:
             }
             if not codes:
                 continue
-            if match.group("kind") == "allow-file":
+            line = token.start[0]
+            kind = match.group("kind")
+            suppressions.directives.append((line, kind, tuple(sorted(codes))))
+            if kind == "allow-file":
                 suppressions.file_codes |= codes
             else:
-                line = token.start[0]
                 suppressions.line_codes.setdefault(line, set()).update(codes)
     except (tokenize.TokenError, IndentationError, SyntaxError):
         pass

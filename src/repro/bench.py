@@ -250,6 +250,50 @@ def _bench_fig6_ipvs(iterations: int) -> Dict[str, Any]:
     return result
 
 
+def _metrics_snapshot() -> Dict[str, Any]:
+    """Run a short telemetry-instrumented scenario and snapshot its metrics.
+
+    Not a timed benchmark: the timed suite runs with telemetry *off* (the
+    guarded hot paths must stay inside the <3% regression budget), and
+    this separate pass documents what the instruments read on a known
+    workload — counters, pull gauges over the hot-path counters, and the
+    request-latency histogram.
+    """
+    from repro.cluster import Cluster
+    from repro.ipvs.addressing import IpEndpoint
+    from repro.ipvs.server import DirectorCluster
+    from repro.telemetry import Telemetry, install_platform_gauges
+    from repro.telemetry.runtime import enabled
+
+    vip = IpEndpoint("203.0.113.1", 8080)
+    cluster = Cluster.build(2, seed=61)
+    telemetry = Telemetry(cluster.loop.clock, cluster.rng, scenario="bench")
+    install_platform_gauges(
+        telemetry.metrics, loop=cluster.loop, network=cluster.network
+    )
+    with enabled(telemetry):
+        telemetry.open_root("bench:metrics")
+        try:
+            directors = DirectorCluster(cluster.loop, replicas=2)
+            directors.add_service(vip)
+            directors.add_real_server(vip, "n1", service_time=0.005)
+            end = cluster.loop.clock.now + 2.0
+
+            def submit() -> None:
+                if cluster.loop.clock.now >= end:
+                    return
+                directors.submit(vip)
+                cluster.loop.call_after(0.02, submit)
+
+            cluster.loop.call_after(0.02, submit)
+            cluster.run_for(2.5)
+        finally:
+            telemetry.close_root()
+    snapshot = telemetry.metrics.snapshot()
+    snapshot["spans"] = len(telemetry.tracer.spans)
+    return snapshot
+
+
 _SUITE = {
     "registry_lookup": (_bench_registry_lookup, 20000, 2000),
     "registry_lookup_linear_baseline": (_bench_registry_lookup_linear, 2000, 200),
@@ -290,6 +334,8 @@ def run_suite(
         if only and name not in only:
             continue
         report["benchmarks"][name] = fn(quick_iterations if quick else iterations)
+    if not only:
+        report["metrics"] = _metrics_snapshot()
     indexed = report["benchmarks"].get("registry_lookup")
     linear = report["benchmarks"].get("registry_lookup_linear_baseline")
     if indexed and linear and linear["ops_per_sec"]:

@@ -38,6 +38,7 @@ from repro.osgi.framework import Framework
 from repro.sim.eventloop import EventLoop
 from repro.sim.network import Network
 from repro.sim.rng import RngStreams
+from repro.telemetry import runtime as _rt
 from repro.storage.san import Mount, SharedStore
 from repro.vosgi.delegation import ExportPolicy
 from repro.vosgi.instance import VirtualInstance
@@ -347,9 +348,19 @@ class Node:
             delay = self.costs.instance_start_seconds(
                 bundle_count=bundle_count_hint, state_bytes=state_bytes_hint
             )
+        deploy_span = None
+        if _rt.ACTIVE is not None:
+            deploy_span = _rt.ACTIVE.tracer.start_span(
+                "standby.activate" if warm else "node.deploy",
+                node=self.node_id,
+                attributes={"instance": name},
+            )
 
         def finish() -> None:
             if self.state != NodeState.ON or self.instance_manager is None:
+                if deploy_span is not None:
+                    deploy_span.attributes["ok"] = False
+                    deploy_span.finish(self.loop.clock.now)
                 completion.fail(
                     RuntimeError("node %s died during deploy" % self.node_id),
                     at=self.loop.clock.now,
@@ -360,8 +371,14 @@ class Node:
                     name, policy=policy, quota=quota
                 )
             except Exception as exc:
+                if deploy_span is not None:
+                    deploy_span.attributes["ok"] = False
+                    deploy_span.finish(self.loop.clock.now)
                 completion.fail(exc, at=self.loop.clock.now)
                 return
+            if deploy_span is not None:
+                deploy_span.attributes["ok"] = True
+                deploy_span.finish(self.loop.clock.now)
             completion.complete(instance, at=self.loop.clock.now)
 
         self.loop.call_after(delay, finish, label="deploy:%s" % name)

@@ -31,6 +31,8 @@ from repro.faults.invariants import (
 )
 from repro.faults.schedule import FaultSchedule
 from repro.faults.trace import FaultTrace
+from repro.telemetry import runtime as _rt
+from repro.telemetry.runtime import Telemetry
 
 
 def derive_episode_seed(root_seed: int, index: int) -> int:
@@ -147,6 +149,12 @@ class Episode:
     #: Static bundle-verifier findings on the episode's deployed bundle
     #: sets, captured at scenario setup (see :func:`verify_deployment`).
     deployment: List[Diagnostic] = field(default_factory=list)
+    #: Observed instance downtimes (seconds) for failure-driven
+    #: redeployments during the episode (telemetry campaigns only).
+    failover_seconds: List[float] = field(default_factory=list)
+    #: Exported span dicts for the whole episode (telemetry campaigns
+    #: only); one connected trace rooted at the episode span.
+    spans: List[Any] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -210,6 +218,30 @@ class CampaignResult:
         joined = "\n".join(e.digest() for e in self.episodes)
         return hashlib.sha256(joined.encode("utf-8")).hexdigest()
 
+    @property
+    def failover_seconds(self) -> List[float]:
+        out: List[float] = []
+        for episode in self.episodes:
+            out.extend(episode.failover_seconds)
+        return out
+
+    def failover_percentiles(self) -> "dict":
+        """p50/p95/max of observed failover downtimes (telemetry runs)."""
+        samples = sorted(self.failover_seconds)
+        if not samples:
+            return {"count": 0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+        def at(fraction: float) -> float:
+            rank = max(0, min(len(samples) - 1, int(fraction * len(samples))))
+            return samples[rank]
+
+        return {
+            "count": len(samples),
+            "p50": at(0.50),
+            "p95": at(0.95),
+            "max": samples[-1],
+        }
+
     def __repr__(self) -> str:
         return "CampaignResult(seed=%d, %d episodes, %s)" % (
             self.seed,
@@ -251,6 +283,7 @@ class ChaosCampaign:
         registry_factory: Callable[[], InvariantRegistry] = default_invariants,
         schedule_factory: Optional[ScheduleFactory] = None,
         repair_failed: bool = True,
+        telemetry: bool = False,
     ) -> None:
         if episodes < 1:
             raise ValueError("need at least one episode")
@@ -265,6 +298,10 @@ class ChaosCampaign:
         self.registry_factory = registry_factory
         self.schedule_factory = schedule_factory
         self.repair_failed = repair_failed
+        #: Capture one end-to-end trace + failover latencies per episode.
+        #: Telemetry draws ids from its own RNG stream and schedules
+        #: nothing, so fault trace digests are identical either way.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -296,15 +333,35 @@ class ChaosCampaign:
                 kinds=self.kinds,
             )
         registry = self.registry_factory()
-        trace, violations = replay_schedule(
-            env,
-            schedule,
-            duration=self.episode_duration,
-            settle=self.settle,
-            check_interval=self.check_interval,
-            registry=registry,
-            repair=self.repair_failed,
-        )
+        telemetry_handle: Optional[Telemetry] = None
+        if self.telemetry:
+            telemetry_handle = Telemetry(
+                env.loop.clock, env.cluster.rng, scenario="chaos"
+            )
+            _rt.activate(telemetry_handle)
+            telemetry_handle.open_root("episode:%d" % index)
+        try:
+            trace, violations = replay_schedule(
+                env,
+                schedule,
+                duration=self.episode_duration,
+                settle=self.settle,
+                check_interval=self.check_interval,
+                registry=registry,
+                repair=self.repair_failed,
+            )
+        finally:
+            if telemetry_handle is not None:
+                telemetry_handle.close_root()
+                _rt.deactivate()
+        failover_seconds: List[float] = []
+        spans: List[Any] = []
+        if telemetry_handle is not None:
+            for node_id in sorted(env.migration):
+                for record in env.migration[node_id].records:
+                    if record.reason == "failure" and record.downtime is not None:
+                        failover_seconds.append(record.downtime)
+            spans = telemetry_handle.export_spans()
         checks = max(
             1, int(self.episode_duration / self.check_interval)
         )  # informational; exact count lives on the checker
@@ -317,6 +374,8 @@ class ChaosCampaign:
             checks_run=checks,
             invariant_names=registry.names(),
             deployment=deployment,
+            failover_seconds=failover_seconds,
+            spans=spans,
         )
 
     # ------------------------------------------------------------------

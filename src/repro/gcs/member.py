@@ -30,6 +30,8 @@ from repro.gcs.directory import GroupDirectory
 from repro.gcs.view import View, ViewChange
 from repro.sim.eventloop import EventLoop, ScheduledEvent
 from repro.sim.network import Message, Network
+from repro.telemetry import runtime as _rt
+from repro.telemetry.runtime import maybe_span
 
 ViewListener = Callable[[ViewChange], None]
 MessageListener = Callable[[str, Any], None]
@@ -179,21 +181,26 @@ class GroupMember:
         """Send ``payload`` to the whole group (including self-delivery)."""
         if not self.running or self.view is None:
             raise RuntimeError("%s is not a group member" % self.endpoint_name)
-        if total_order:
-            if self.is_coordinator:
-                self._sequence(self.endpoint_name, payload)
+        with maybe_span(
+            "gcs.multicast",
+            node=self.node_id,
+            attributes={"group": self.group, "total_order": total_order},
+        ):
+            if total_order:
+                if self.is_coordinator:
+                    self._sequence(self.endpoint_name, payload)
+                else:
+                    self._channel.send(
+                        self.view.coordinator,
+                        {"t": "TOSEND", "origin": self.endpoint_name, "body": payload},
+                    )
             else:
-                self._channel.send(
-                    self.view.coordinator,
-                    {"t": "TOSEND", "origin": self.endpoint_name, "body": payload},
-                )
-        else:
-            self._fifo_seq += 1
-            frame = {"t": "FIFO", "seq": self._fifo_seq, "body": payload}
-            for member in self.view.members:
-                if member != self.endpoint_name:
-                    self._channel.send(member, frame)
-            self._deliver(self.endpoint_name, payload)
+                self._fifo_seq += 1
+                frame = {"t": "FIFO", "seq": self._fifo_seq, "body": payload}
+                for member in self.view.members:
+                    if member != self.endpoint_name:
+                        self._channel.send(member, frame)
+                self._deliver(self.endpoint_name, payload)
 
     # ------------------------------------------------------------------
     # Timers
@@ -361,14 +368,23 @@ class GroupMember:
     # ------------------------------------------------------------------
     def _broadcast_view(self, new_view: View) -> None:
         order_seq = max(self._order_next, self._order_expected)
-        for member in new_view.members:
-            if member == self.endpoint_name:
-                continue
-            self._channel.send(
-                member,
-                {"t": "VIEW", "view": new_view.to_dict(), "order_seq": order_seq},
-            )
-        self._install(new_view, order_seq)
+        with maybe_span(
+            "gcs.view_broadcast",
+            node=self.node_id,
+            attributes={
+                "group": self.group,
+                "view_id": new_view.view_id,
+                "members": new_view.size,
+            },
+        ):
+            for member in new_view.members:
+                if member == self.endpoint_name:
+                    continue
+                self._channel.send(
+                    member,
+                    {"t": "VIEW", "view": new_view.to_dict(), "order_seq": order_seq},
+                )
+            self._install(new_view, order_seq)
 
     def _install(self, new_view: View, order_seq: int) -> None:
         old_view = self.view
@@ -404,11 +420,32 @@ class GroupMember:
                 self._channel.send(
                     joiner, {"t": "SYNC", "fifo_seq": self._fifo_seq}
                 )
-        for listener in list(self.view_listeners):
-            try:
-                listener(change)
-            except Exception:
-                pass
+        def fire() -> None:
+            for listener in list(self.view_listeners):
+                try:
+                    listener(change)
+                except Exception:
+                    pass
+
+        if _rt.ACTIVE is not None:
+            telemetry = _rt.ACTIVE
+            telemetry.metrics.counter(
+                "gcs.view_changes_total", group=self.group
+            ).inc()
+            with telemetry.tracer.span(
+                "gcs.view_change",
+                node=self.node_id,
+                attributes={
+                    "group": self.group,
+                    "view_id": new_view.view_id,
+                    "members": new_view.size,
+                    "joined": len(change.joined),
+                    "left": len(change.left),
+                },
+            ):
+                fire()
+        else:
+            fire()
 
     def _send_join(self, peers: List[str]) -> None:
         for peer in peers:

@@ -21,6 +21,8 @@ from repro.cluster.node import Node, NodeState
 from repro.ipvs.addressing import IpEndpoint
 from repro.ipvs.schedulers import RoundRobinScheduler, Scheduler
 from repro.sim.eventloop import EventLoop
+from repro.telemetry import runtime as _rt
+from repro.telemetry.tracer import Span
 
 
 @dataclass
@@ -36,6 +38,8 @@ class Request:
     completed_at: Optional[float] = None
     served_by: Optional[str] = None
     dropped: Optional[str] = None
+    #: Open telemetry span for the request, if tracing is active.
+    span: Optional[Span] = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -46,6 +50,24 @@ class Request:
         if self.completed_at is None:
             return None
         return self.completed_at - self.arrived_at
+
+
+def _finish_request_telemetry(
+    request: Request, serve_span: Optional[Span], loop: EventLoop
+) -> None:
+    """End the request's spans and record its latency histogram sample."""
+    now = loop.clock.now
+    outcome = request.dropped or "ok"
+    if serve_span is not None:
+        serve_span.attributes["outcome"] = outcome
+        serve_span.finish(now)
+    if request.span is not None:
+        request.span.attributes["outcome"] = outcome
+        request.span.finish(now)
+    if _rt.ACTIVE is not None and request.latency is not None:
+        _rt.ACTIVE.metrics.histogram("ipvs.request_latency_seconds").observe(
+            request.latency
+        )
 
 
 class RealServer:
@@ -89,15 +111,22 @@ class RealServer:
         start = max(loop.clock.now, self._busy_until)
         finish_at = start + self.service_time
         self._busy_until = finish_at
+        serve_span: Optional[Span] = None
+        if _rt.ACTIVE is not None:
+            serve_span = _rt.ACTIVE.tracer.start_span(
+                "ipvs.serve", node=self.node_id, attributes={"port": self.port}
+            )
 
         def finish() -> None:
             self.active_connections -= 1
             if not self.alive:
                 request.dropped = "server-died"
+                _finish_request_telemetry(request, serve_span, loop)
                 return
             self.served += 1
             request.completed_at = loop.clock.now
             request.served_by = self.node_id
+            _finish_request_telemetry(request, serve_span, loop)
             if self.on_served is not None:
                 try:
                     self.on_served(request)
@@ -374,12 +403,39 @@ class DirectorCluster:
         )
         self._next_request_id += 1
         self.requests.append(request)
+        telemetry = _rt.ACTIVE
+        if telemetry is not None:
+            telemetry.metrics.counter("ipvs.requests_total").inc()
+            request.span = telemetry.tracer.start_span(
+                "ipvs.request",
+                attributes={"vip": str(endpoint), "client": client or ""},
+            )
         director = self.active_director()
         if director is None:
             request.dropped = "no-director"
+            self._finish_dropped(request)
             return request
-        director.route(request)
+        if telemetry is not None and request.span is not None:
+            with telemetry.tracer.activate(request.span.context):
+                director.route(request)
+        else:
+            director.route(request)
+        if request.dropped is not None:
+            self._finish_dropped(request)
         return request
+
+    def _finish_dropped(self, request: Request) -> None:
+        """Close out telemetry for a request dropped before service."""
+        telemetry = _rt.ACTIVE
+        if telemetry is None:
+            return
+        if request.dropped is not None:
+            telemetry.metrics.counter(
+                "ipvs.dropped_total", reason=request.dropped
+            ).inc()
+        if request.span is not None:
+            request.span.attributes["outcome"] = request.dropped or "ok"
+            request.span.finish(self._loop.clock.now)
 
     # -- statistics -----------------------------------------------------------
     def stats(self) -> Dict[str, float]:

@@ -33,6 +33,7 @@ from repro.migration.inventory import ClusterInventory, NodeInventory
 from repro.migration.placement import LeastLoadedPlacement, PlacementPolicy
 from repro.migration.registry import CustomerDescriptor, CustomerDirectory
 from repro.sim.eventloop import ScheduledEvent
+from repro.telemetry import runtime as _rt
 
 #: GCS group every Migration Module joins.
 PLATFORM_GROUP = "platform.migration"
@@ -524,20 +525,52 @@ class MigrationModule:
             if prepared is not None:
                 warm = True
                 bundle_count = prepared.bundle_count
-        completion = self.node.deploy_instance(
-            instance,
-            policy=descriptor.policy(),
-            quota=descriptor.quota(),
-            bundle_count_hint=bundle_count,
-            state_bytes_hint=descriptor.state_bytes_hint,
-            warm=warm,
-        )
+        mig_span = None
+        telemetry = _rt.ACTIVE
+        if telemetry is not None:
+            mig_span = telemetry.tracer.start_span(
+                "migration.failover" if reason == "failure" else "migration.deploy",
+                node=self.node.node_id,
+                attributes={
+                    "instance": instance,
+                    "from": from_node,
+                    "reason": reason,
+                    "warm": warm,
+                },
+            )
+            with telemetry.tracer.activate(mig_span.context):
+                completion = self.node.deploy_instance(
+                    instance,
+                    policy=descriptor.policy(),
+                    quota=descriptor.quota(),
+                    bundle_count_hint=bundle_count,
+                    state_bytes_hint=descriptor.state_bytes_hint,
+                    warm=warm,
+                )
+        else:
+            completion = self.node.deploy_instance(
+                instance,
+                policy=descriptor.policy(),
+                quota=descriptor.quota(),
+                bundle_count_hint=bundle_count,
+                state_bytes_hint=descriptor.state_bytes_hint,
+                warm=warm,
+            )
 
         def finished(c: Completion) -> None:
+            if mig_span is not None:
+                mig_span.attributes["ok"] = c.ok
+                mig_span.finish(self.loop.clock.now)
             if not c.ok:
                 self._redeploying.pop(instance, None)
                 return
             record.up_at = self.loop.clock.now
+            if _rt.ACTIVE is not None:
+                downtime = record.downtime
+                if reason == "failure" and downtime is not None:
+                    _rt.ACTIVE.metrics.histogram(
+                        "migration.failover_seconds"
+                    ).observe(downtime)
             self._redeploying.pop(instance, None)
             self._fire(record)
             self._broadcast_inventory()

@@ -24,9 +24,15 @@ from repro.monitoring.jsr284 import (
     DomainRegistry,
     HEAP_MEMORY,
 )
-from repro.monitoring.sampler import ThreadSampler
+from repro.monitoring.sampler import (
+    PROBE_CPU_SECONDS,
+    PROBE_DISK_BYTES,
+    PROBE_MEMORY_BYTES,
+    ThreadSampler,
+)
 from repro.osgi.definition import BundleActivator, BundleDefinition, simple_bundle
 from repro.sim.eventloop import EventLoop, ScheduledEvent
+from repro.telemetry.metrics import MetricsRegistry
 from repro.vosgi.manager import INSTANCE_MANAGER_CLASS, InstanceManager
 
 #: Object class the Monitoring Module service is registered under.
@@ -102,6 +108,9 @@ class MonitoringModule:
         self.mode = mode
         self.sampler = sampler
         self.domains = DomainRegistry()
+        #: Raw probe readings, one labelled gauge series per instance —
+        #: the single sampling path both accounting modes read through.
+        self.metrics = MetricsRegistry()
         self._history: Dict[str, Deque[UsageReport]] = {}
         self._history_size = history_size
         self._last_cpu: Dict[str, float] = {}
@@ -148,21 +157,32 @@ class MonitoringModule:
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------
-    def _measure(self, instance, now: float) -> UsageReport:
+    def _probe(self, instance) -> None:
+        """Publish the instance's raw usage into the probe gauges."""
         usage = instance.usage()
-        true_cpu = usage["cpu_seconds"]
+        name = instance.name
+        self.metrics.gauge(PROBE_CPU_SECONDS, instance=name).set(
+            float(usage["cpu_seconds"])
+        )
+        self.metrics.gauge(PROBE_MEMORY_BYTES, instance=name).set(
+            float(int(usage["memory_bytes"]))
+        )
+        self.metrics.gauge(PROBE_DISK_BYTES, instance=name).set(
+            float(int(usage["disk_bytes"]))
+        )
+
+    def _measure(self, instance, now: float) -> UsageReport:
+        self._probe(instance)
+        name = instance.name
         if self.mode == "sampling":
             assert self.sampler is not None
-            cpu_total = self.sampler.sample_cpu(true_cpu)
-            memory: Optional[int] = self.sampler.sample_memory(
-                int(usage["memory_bytes"])
-            )
+            cpu_total, memory = self.sampler.sample_from(self.metrics, name)
             disk: Optional[int] = None
         else:
-            cpu_total = true_cpu
-            memory = int(usage["memory_bytes"])
-            disk = int(usage["disk_bytes"])
-            self._sync_domains(instance.name, cpu_total, memory, disk)
+            cpu_total = self.metrics.gauge(PROBE_CPU_SECONDS, instance=name).value
+            memory = int(self.metrics.gauge(PROBE_MEMORY_BYTES, instance=name).value)
+            disk = int(self.metrics.gauge(PROBE_DISK_BYTES, instance=name).value)
+            self._sync_domains(name, cpu_total, memory, disk)
         previous = self._last_cpu.get(instance.name, cpu_total)
         self._last_cpu[instance.name] = cpu_total
         delta = max(0.0, cpu_total - previous)
@@ -236,10 +256,12 @@ class MonitoringModule:
             self._listeners.remove(listener)
 
     def forget(self, instance_name: str) -> None:
-        """Drop history for a departed instance."""
+        """Drop history and probe gauges for a departed instance."""
         self._history.pop(instance_name, None)
         self._last_cpu.pop(instance_name, None)
         self.domains.drop_owner(instance_name)
+        for gauge_name in (PROBE_CPU_SECONDS, PROBE_MEMORY_BYTES, PROBE_DISK_BYTES):
+            self.metrics.remove(gauge_name, instance=instance_name)
 
     def __repr__(self) -> str:
         return "MonitoringModule(%s, interval=%.2fs, ticks=%d)" % (

@@ -14,7 +14,16 @@ memory. The ABL benchmarks compare SLA enforcement accuracy under exact
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Gauge names the Monitoring Module publishes raw probe readings under;
+#: one labelled series per instance. Defined here (not in monitor.py)
+#: because the monitor imports the sampler, never the reverse.
+PROBE_CPU_SECONDS = "monitoring.cpu_seconds"
+PROBE_MEMORY_BYTES = "monitoring.memory_bytes"
+PROBE_DISK_BYTES = "monitoring.disk_bytes"
 
 
 class ThreadSampler:
@@ -46,6 +55,14 @@ class ThreadSampler:
     def sample_memory(self, true_bytes: int) -> Optional[int]:
         """Per-instance memory is invisible to the 2008 JVM: always None."""
         return None
+
+    def sample_from(
+        self, metrics: MetricsRegistry, instance_name: str
+    ) -> Tuple[float, Optional[int]]:
+        """Estimate (cpu, memory) from the module's probe gauges."""
+        cpu = metrics.gauge(PROBE_CPU_SECONDS, instance=instance_name).value
+        memory = metrics.gauge(PROBE_MEMORY_BYTES, instance=instance_name).value
+        return self.sample_cpu(cpu), self.sample_memory(int(memory))
 
     def __repr__(self) -> str:
         return "ThreadSampler(err=%.2f, tick=%.3fs, samples=%d)" % (

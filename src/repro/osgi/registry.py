@@ -192,6 +192,8 @@ class ServiceRegistry:
         self._registrations: Dict[int, ServiceRegistration] = {}
         self._by_class: Dict[str, List[ServiceRegistration]] = {}
         self._next_id = 1
+        #: Lookup count, read by the ``registry.lookups`` pull gauge.
+        self.lookups = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -272,6 +274,7 @@ class ServiceRegistry:
         filter: "str | Filter | None" = None,
     ) -> List[ServiceReference]:
         """All matching references, best-first (ranking, then age)."""
+        self.lookups += 1
         parsed: Optional[Filter] = None
         if filter is not None:
             parsed = filter if isinstance(filter, Filter) else parse_filter(filter)

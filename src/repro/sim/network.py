@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.sim.eventloop import EventLoop
 from repro.sim.rng import RngStreams
+from repro.telemetry import runtime as _rt
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,8 @@ class Message:
     payload: Any
     sent_at: float
     size_bytes: int = 256
+    #: Captured telemetry span context; not part of message identity.
+    trace: Any = field(compare=False, repr=False, default=None)
 
 
 @dataclass
@@ -252,7 +255,12 @@ class Network:
         """Queue a message for FIFO delivery, applying loss and partitions."""
         self.stats.sent += 1
         self.stats.bytes_sent += size_bytes
-        message = Message(source, destination, payload, self.loop.clock.now, size_bytes)
+        trace = None
+        if _rt.ACTIVE is not None:
+            trace = _rt.ACTIVE.tracer.current_context()
+        message = Message(
+            source, destination, payload, self.loop.clock.now, size_bytes, trace
+        )
         if self._partitioned(source, destination):
             self.stats.dropped_partition += 1
             return
@@ -298,7 +306,11 @@ class Network:
             self.stats.dropped_dead += 1
             return
         self.stats.delivered += 1
-        endpoint.deliver(message)
+        if _rt.ACTIVE is not None and message.trace is not None:
+            with _rt.ACTIVE.tracer.activate(message.trace):
+                endpoint.deliver(message)
+        else:
+            endpoint.deliver(message)
 
     def __repr__(self) -> str:
         return "Network(endpoints=%d, latency=%.4fs, loss=%.3f)" % (

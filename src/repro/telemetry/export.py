@@ -1,0 +1,154 @@
+"""Span exporters: canonical JSON dump + Chrome ``trace_event`` format.
+
+Both exporters take the canonical span dicts produced by
+:meth:`~repro.telemetry.tracer.Tracer.export` and serialise with sorted
+keys and fixed separators, so two same-seed runs emit **byte-identical**
+files — the property the CI determinism guard asserts with ``cmp``.
+
+The Chrome format (the ``trace_event`` JSON consumed by Perfetto and
+chrome://tracing) maps the simulation onto one process: ``pid`` 1 is the
+platform, each node gets a stable integer ``tid`` (sorted node-id order)
+with a ``thread_name`` metadata record, and every span becomes one "X"
+(complete) event with microsecond ``ts``/``dur`` derived from virtual
+time. Span/trace/parent ids travel in ``args`` so causal edges survive
+the round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "spans_document",
+    "dump_spans_json",
+    "chrome_trace_document",
+    "dump_chrome_json",
+    "trace_roots",
+    "connected_trace_ids",
+]
+
+SpanDict = Dict[str, Any]
+
+
+def spans_document(
+    spans: Sequence[SpanDict], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The raw span dump: metadata header + spans in start order."""
+    return {"format": "repro.telemetry/spans.v1", "meta": dict(meta or {}), "spans": list(spans)}
+
+
+def dump_spans_json(
+    spans: Sequence[SpanDict], meta: Optional[Dict[str, Any]] = None
+) -> str:
+    return (
+        json.dumps(
+            spans_document(spans, meta),
+            indent=2,
+            sort_keys=True,
+            separators=(",", ": "),
+        )
+        + "\n"
+    )
+
+
+def _microseconds(seconds: float) -> int:
+    return int(round(seconds * 1_000_000))
+
+
+def chrome_trace_document(
+    spans: Sequence[SpanDict], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """``trace_event`` JSON object: metadata records then "X" events."""
+    nodes = sorted({span.get("node") or "" for span in spans})
+    tid_of = {node: index for index, node in enumerate(nodes)}
+    events: List[Dict[str, Any]] = [
+        {
+            "args": {"name": "repro simulation"},
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+        }
+    ]
+    for node in nodes:
+        events.append(
+            {
+                "args": {"name": node or "platform"},
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid_of[node],
+            }
+        )
+    for span in spans:
+        start_us = _microseconds(span["start"])
+        end_us = _microseconds(span["end"])
+        args: Dict[str, Any] = {
+            "span_id": span["span_id"],
+            "trace_id": span["trace_id"],
+        }
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        for key in sorted(span.get("attributes", {})):
+            args[key] = span["attributes"][key]
+        events.append(
+            {
+                "args": args,
+                "cat": span["name"].split(".", 1)[0],
+                # A zero-length event is invisible in the viewers; clamp
+                # instantaneous spans to 1us for display only.
+                "dur": max(1, end_us - start_us),
+                "name": span["name"],
+                "ph": "X",
+                "pid": 1,
+                "tid": tid_of[span.get("node") or ""],
+                "ts": start_us,
+            }
+        )
+    return {
+        "displayTimeUnit": "ms",
+        "metadata": dict(meta or {}),
+        "traceEvents": events,
+    }
+
+
+def dump_chrome_json(
+    spans: Sequence[SpanDict], meta: Optional[Dict[str, Any]] = None
+) -> str:
+    return (
+        json.dumps(
+            chrome_trace_document(spans, meta),
+            indent=2,
+            sort_keys=True,
+            separators=(",", ": "),
+        )
+        + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace-shape queries (used by tests and the CLI summary)
+# ----------------------------------------------------------------------
+def trace_roots(spans: Sequence[SpanDict]) -> List[SpanDict]:
+    """Spans with no parent, in start order."""
+    return [span for span in spans if not span.get("parent_id")]
+
+
+def connected_trace_ids(spans: Sequence[SpanDict]) -> List[str]:
+    """Distinct trace ids whose spans all reach a root via parent edges."""
+    by_id = {span["span_id"]: span for span in spans}
+    connected: Dict[str, bool] = {}
+    for span in spans:
+        trace_id = span["trace_id"]
+        current: Optional[SpanDict] = span
+        hops = 0
+        while current is not None and hops <= len(by_id):
+            parent_id = current.get("parent_id")
+            if not parent_id:
+                break
+            current = by_id.get(parent_id)
+            hops += 1
+        reaches_root = current is not None and not current.get("parent_id")
+        connected[trace_id] = connected.get(trace_id, True) and reaches_root
+    return sorted(t for t, ok in connected.items() if ok)

@@ -1,0 +1,63 @@
+"""Pull-gauges over the platform's existing hot-path counters.
+
+The registry/filter/event-loop hot paths were tuned in the perf PR and
+must stay untouched; they already count everything worth charting (the
+event loop's ``fired``/``pending``, the network's
+:class:`~repro.sim.network.NetworkStats`, the LDAP filter parse cache's
+``cache_info()``, the service registry's lookup counter). Observable
+gauges read those counters **only at snapshot time**, so instrumentation
+adds zero work per operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["install_platform_gauges"]
+
+_NETWORK_FIELDS = (
+    "sent",
+    "delivered",
+    "dropped_loss",
+    "dropped_partition",
+    "dropped_dead",
+    "bytes_sent",
+)
+
+
+def install_platform_gauges(
+    metrics: MetricsRegistry,
+    loop: Optional[Any] = None,
+    network: Optional[Any] = None,
+    service_registry: Optional[Any] = None,
+) -> MetricsRegistry:
+    """Register observable gauges for whatever subsystems are given."""
+    if loop is not None:
+        metrics.gauge("eventloop.fired", fn=lambda: loop.fired)
+        metrics.gauge("eventloop.pending", fn=lambda: loop.pending)
+    if network is not None:
+        stats = network.stats
+        for field_name in _NETWORK_FIELDS:
+            metrics.gauge(
+                "network.%s" % field_name,
+                fn=lambda f=field_name: getattr(stats, f),
+            )
+    if service_registry is not None:
+        metrics.gauge(
+            "registry.lookups", fn=lambda: service_registry.lookups
+        )
+
+    from repro.osgi.filter import parse_filter_cache_info
+
+    metrics.gauge(
+        "filter.parse_cache_hits", fn=lambda: parse_filter_cache_info().hits
+    )
+    metrics.gauge(
+        "filter.parse_cache_misses", fn=lambda: parse_filter_cache_info().misses
+    )
+    metrics.gauge(
+        "filter.parse_cache_size", fn=lambda: parse_filter_cache_info().currsize
+    )
+    return metrics

@@ -1,0 +1,125 @@
+"""The zero-overhead-when-disabled switch for the telemetry subsystem.
+
+Instrumented hot paths (network send/deliver, ipvs routing, registry
+lookups, migration deploys) guard every telemetry action with::
+
+    from repro.telemetry import runtime as _rt
+    ...
+    if _rt.ACTIVE is not None:
+        _rt.ACTIVE.tracer.start_span(...)
+
+When no :class:`Telemetry` is activated the cost is one module-attribute
+load and an ``is not None`` compare — no allocation, no callable
+indirection — which is what keeps the bench suite inside its <3%
+regression budget with telemetry off.
+
+Exactly one telemetry handle is active at a time (the sim is
+single-threaded and scenarios own their whole process); activating a new
+one replaces the old. Scenario drivers use :func:`enabled` to scope
+activation; long-lived drivers (the chaos campaign) call
+:func:`activate`/:func:`deactivate` explicitly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Span, Tracer
+
+__all__ = ["Telemetry", "ACTIVE", "activate", "deactivate", "enabled", "maybe_span"]
+
+
+class Telemetry:
+    """One scenario's tracer + metrics registry, bound to sim time.
+
+    Parameters
+    ----------
+    clock:
+        The sim :class:`~repro.sim.clock.Clock` (timestamps).
+    rng:
+        The cluster's :class:`~repro.sim.rng.RngStreams`; ids come from
+        its dedicated ``"telemetry"`` stream so every pre-existing
+        stream's draws are unchanged.
+    scenario:
+        Free-form label carried into exports.
+    """
+
+    def __init__(self, clock: Any, rng: Any, scenario: str = "") -> None:
+        self.clock = clock
+        self.tracer = Tracer(clock, rng.stream("telemetry"))
+        self.metrics = MetricsRegistry()
+        self.scenario = scenario
+        self.root: Optional[Span] = None
+
+    # ------------------------------------------------------------------
+    def open_root(self, name: str) -> Span:
+        """Push the ambient root span stitching timer-driven causality."""
+        if self.root is not None:
+            raise RuntimeError("root span already open: %s" % self.root.name)
+        self.root = self.tracer.start_span(name, parent=None)
+        self.tracer.push_scope(self.root.context)
+        return self.root
+
+    def close_root(self) -> None:
+        if self.root is None:
+            return
+        self.tracer.pop_scope()
+        self.root.finish(self.clock.now)
+        self.root = None
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        return self.tracer.export()
+
+    def __repr__(self) -> str:
+        return "Telemetry(%s, spans=%d)" % (
+            self.scenario or "?",
+            len(self.tracer.spans),
+        )
+
+
+#: The active handle, or None (the common, zero-overhead case).
+ACTIVE: Optional[Telemetry] = None
+
+
+def activate(telemetry: Telemetry) -> Telemetry:
+    global ACTIVE
+    ACTIVE = telemetry
+    return telemetry
+
+
+def deactivate() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def enabled(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Activate ``telemetry`` for a block, restoring the previous handle."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = telemetry
+    try:
+        yield telemetry
+    finally:
+        ACTIVE = previous
+
+
+@contextmanager
+def maybe_span(
+    name: str,
+    node: str = "",
+    attributes: Optional[Dict[str, Any]] = None,
+) -> Iterator[Optional[Span]]:
+    """A span when telemetry is active, a no-op otherwise.
+
+    Convenience for warm paths (multicasts, view changes, dispatches);
+    the hottest paths inline the ``ACTIVE is not None`` check instead.
+    """
+    active = ACTIVE
+    if active is None:
+        yield None
+        return
+    with active.tracer.span(name, node=node, attributes=attributes) as span:
+        yield span

@@ -1,0 +1,194 @@
+"""Causal spans over sim time: the tracing half of ``repro.telemetry``.
+
+A :class:`Span` is one named operation (a multicast, a view change, an
+ipvs request, a failover) with a start/end in **virtual seconds** and a
+:class:`SpanContext` identifying it. Context propagates two ways:
+
+* **in-process** — the tracer keeps an explicit context stack (the sim is
+  single-threaded, so no thread-locals): :meth:`Tracer.span` activates a
+  span around a block, and any span started inside becomes its child;
+* **cross-node** — :class:`~repro.sim.network.Network` captures the
+  current context on ``send`` and re-activates it around delivery, so the
+  receiving handler's spans attach to the sender's span without any layer
+  having to thread ids through its payloads.
+
+Ids are minted from the cluster's dedicated ``"telemetry"`` RNG stream
+(:mod:`repro.sim.rng`), so existing streams' draws — and every pinned
+chaos trace digest — are unchanged, while two same-seed runs produce
+byte-identical span dumps.
+
+Timer-driven causality (a node crash surfaces as missing heartbeats, not
+as a message) is stitched by the *ambient root span*: a scenario or chaos
+episode pushes one root context for its whole duration, so suspicion,
+view change and failover spans with no in-band cause still join the same
+trace as the client requests.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["SpanContext", "Span", "Tracer"]
+
+#: Sentinel distinguishing "no parent given" from "explicitly parentless".
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """What propagates: the trace a span belongs to, and the span itself."""
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One operation's record; ``finish`` is idempotent and may come late
+    (deploy completions end their span from an event-loop callback)."""
+
+    __slots__ = ("name", "context", "parent_id", "node", "start", "end", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        parent_id: Optional[str],
+        node: str,
+        start: float,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes = attributes
+
+    def finish(self, at: float) -> None:
+        if self.end is None:
+            self.end = at
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form; an unfinished span reads as zero-length."""
+        end = self.end if self.end is not None else self.start
+        return {
+            "name": self.name,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.parent_id,
+            "node": self.node,
+            "start": round(self.start, 9),
+            "end": round(end, 9),
+            "attributes": {k: self.attributes[k] for k in sorted(self.attributes)},
+        }
+
+    def __repr__(self) -> str:
+        return "Span(%s, %s, node=%s, start=%.4f, %s)" % (
+            self.name,
+            self.context.span_id,
+            self.node or "?",
+            self.start,
+            "open" if self.end is None else "%.4fs" % (self.end - self.start),
+        )
+
+
+class Tracer:
+    """Mints spans from the sim clock and a dedicated RNG stream."""
+
+    def __init__(self, clock: Any, rng: random.Random) -> None:
+        self._clock = clock
+        self._rng = rng
+        self._stack: List[SpanContext] = []
+        #: Every span ever started, in start order (deterministic).
+        self.spans: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def _new_id(self) -> str:
+        return "%016x" % self._rng.getrandbits(64)
+
+    def current_context(self) -> Optional[SpanContext]:
+        return self._stack[-1] if self._stack else None
+
+    def start_span(
+        self,
+        name: str,
+        node: str = "",
+        parent: Any = _UNSET,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Open a span; the caller ends it with :meth:`Span.finish`.
+
+        ``parent`` defaults to the active context; pass ``None`` to force
+        a new root trace.
+        """
+        if parent is _UNSET:
+            parent = self.current_context()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id: Optional[str] = parent.span_id
+        else:
+            trace_id = self._new_id()
+            parent_id = None
+        context = SpanContext(trace_id, self._new_id())
+        span = Span(
+            name=name,
+            context=context,
+            parent_id=parent_id,
+            node=node,
+            start=self._clock.now,
+            attributes=dict(attributes or {}),
+        )
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self, context: Optional[SpanContext]) -> Iterator[None]:
+        """Make ``context`` the ambient parent for the enclosed block."""
+        if context is None:
+            yield
+            return
+        self._stack.append(context)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        node: str = "",
+        parent: Any = _UNSET,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Iterator[Span]:
+        """Start, activate and (on exit) finish a span around a block."""
+        opened = self.start_span(name, node=node, parent=parent, attributes=attributes)
+        self._stack.append(opened.context)
+        try:
+            yield opened
+        finally:
+            self._stack.pop()
+            opened.finish(self._clock.now)
+
+    # ------------------------------------------------------------------
+    # Ambient root scope (non-contextmanager: scenarios span many run_for
+    # calls, so the push and the pop happen at different call sites).
+    # ------------------------------------------------------------------
+    def push_scope(self, context: SpanContext) -> None:
+        self._stack.append(context)
+
+    def pop_scope(self) -> None:
+        if self._stack:
+            self._stack.pop()
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Every span as a canonical dict, in start order."""
+        return [span.to_dict() for span in self.spans]
+
+    def __repr__(self) -> str:
+        return "Tracer(spans=%d, depth=%d)" % (len(self.spans), len(self._stack))

@@ -22,6 +22,9 @@ from repro.osgi.definition import BundleDefinition
 from repro.osgi.framework import Framework
 from repro.sim.eventloop import EventLoop
 from repro.sim.network import Message, Network
+from repro.telemetry import runtime as _rt
+from repro.telemetry.runtime import maybe_span
+from repro.telemetry.tracer import Span
 
 
 class RemoteInstanceHost:
@@ -50,14 +53,17 @@ class RemoteInstanceHost:
         if not isinstance(payload, dict) or "cmd" not in payload:
             return
         self.commands_served += 1
-        reply: Dict[str, Any] = {"reply_to": payload["token"]}
-        try:
-            reply["result"] = self._execute(payload["cmd"], payload.get("args", {}))
-            reply["ok"] = True
-        except Exception as exc:
-            reply["ok"] = False
-            reply["error"] = str(exc)
-        self._endpoint.send(message.source, reply)
+        with maybe_span(
+            "rim.execute", node=self.name, attributes={"command": payload["cmd"]}
+        ):
+            reply: Dict[str, Any] = {"reply_to": payload["token"]}
+            try:
+                reply["result"] = self._execute(payload["cmd"], payload.get("args", {}))
+                reply["ok"] = True
+            except Exception as exc:
+                reply["ok"] = False
+                reply["error"] = str(exc)
+            self._endpoint.send(message.source, reply)
 
     def _execute(self, command: str, args: Dict[str, Any]) -> Any:
         if command == "start-framework":
@@ -115,6 +121,7 @@ class RemoteInstanceManager:
         self._endpoint = network.attach(self.endpoint_name, self._on_message)
         self._hosts: Dict[str, str] = {}  # instance name -> endpoint
         self._pending: Dict[int, "tuple[Completion, float]"] = {}
+        self._spans: Dict[int, Span] = {}
         self._next_token = 1
         self.round_trip_times: List[float] = []
 
@@ -136,14 +143,27 @@ class RemoteInstanceManager:
         completion: Completion = Completion("%s@%s" % (command, instance))
         sent_at = self.loop.clock.now
         self._pending[token] = (completion, sent_at)
-        self._endpoint.send(
-            endpoint, {"cmd": command, "args": args, "token": token}
-        )
+        if _rt.ACTIVE is not None:
+            tracer = _rt.ACTIVE.tracer
+            span = tracer.start_span(
+                "rim.call",
+                attributes={"command": command, "instance": instance},
+            )
+            self._spans[token] = span
+            with tracer.activate(span.context):
+                self._endpoint.send(
+                    endpoint, {"cmd": command, "args": args, "token": token}
+                )
+        else:
+            self._endpoint.send(
+                endpoint, {"cmd": command, "args": args, "token": token}
+            )
 
         def expire() -> None:
             if completion.done:
                 return
             self._pending.pop(token, None)
+            self._finish_span(token, ok=False)
             completion.fail(
                 TimeoutError("%s to %s timed out" % (command, instance)),
                 at=self.loop.clock.now,
@@ -177,6 +197,12 @@ class RemoteInstanceManager:
             return 0.0
         return sum(self.round_trip_times) / len(self.round_trip_times)
 
+    def _finish_span(self, token: int, ok: bool) -> None:
+        span = self._spans.pop(token, None)
+        if span is not None:
+            span.attributes["ok"] = ok
+            span.finish(self.loop.clock.now)
+
     # ------------------------------------------------------------------
     def _on_message(self, message: Message) -> None:
         payload = message.payload
@@ -186,6 +212,7 @@ class RemoteInstanceManager:
         if entry is None:
             return  # late reply after timeout
         completion, sent_at = entry
+        self._finish_span(payload["reply_to"], ok=bool(payload.get("ok")))
         self.round_trip_times.append(self.loop.clock.now - sent_at)
         if payload.get("ok"):
             completion.complete(payload.get("result"), at=self.loop.clock.now)

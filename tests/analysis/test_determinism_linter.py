@@ -287,6 +287,68 @@ def test_directive_inside_string_is_inert():
 
 
 # ----------------------------------------------------------------------
+# DET006 — suppression directive in a suppression-free zone
+# ----------------------------------------------------------------------
+def zone_lint(snippet, select=None):
+    return lint_source(
+        textwrap.dedent(snippet), "src/repro/telemetry/x.py", select=select
+    )
+
+
+def test_det006_reports_directive_and_voids_it():
+    diags = zone_lint(
+        """
+        import time
+        a = time.time()  # repro: allow[DET001] -- should not work here
+        """
+    )
+    assert sorted(d.code for d in diags) == ["DET001", "DET006"]
+
+
+def test_det006_voids_file_level_directive():
+    diags = zone_lint(
+        """
+        # repro: allow-file[DET001] -- should not work here
+        import time
+        a = time.time()
+        b = time.time()
+        """
+    )
+    assert sorted(d.code for d in diags) == ["DET001", "DET001", "DET006"]
+
+
+def test_det006_clean_zone_file_stays_clean():
+    assert zone_lint("x = 1\n") == []
+
+
+def test_det006_respects_rule_selection():
+    snippet = """
+    import time
+    a = time.time()  # repro: allow[DET001]
+    """
+    assert zone_lint(snippet, select=["DET006"]) != []
+    assert [d.code for d in zone_lint(snippet, select=["DET001"])] == ["DET001"]
+
+
+def test_suppression_still_works_outside_the_zone():
+    diags = lint_source(
+        "import time\na = time.time()  # repro: allow[DET001] -- fine here\n",
+        "src/repro/sim/x.py",
+    )
+    assert diags == []
+
+
+def test_telemetry_package_has_no_suppression_directives():
+    """The zone is honoured at the source: no opt-outs shipped in-tree."""
+    package = os.path.join(SRC_ROOT, "repro", "telemetry")
+    for name in sorted(os.listdir(package)):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(package, name), encoding="utf-8") as handle:
+            assert "repro: allow" not in handle.read(), name
+
+
+# ----------------------------------------------------------------------
 # Selection + whole-tree baseline
 # ----------------------------------------------------------------------
 def test_select_filters_rules():
@@ -308,6 +370,7 @@ def test_rule_catalogue_is_complete():
         "DET003",
         "DET004",
         "DET005",
+        "DET006",
     }
 
 

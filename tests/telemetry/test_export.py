@@ -1,0 +1,93 @@
+"""Exporters: Chrome trace_event mapping, byte-identity, trace-shape queries."""
+
+import json
+
+from repro.telemetry.export import (
+    chrome_trace_document,
+    connected_trace_ids,
+    dump_chrome_json,
+    dump_spans_json,
+    spans_document,
+    trace_roots,
+)
+
+
+def span(name, trace_id="t1", span_id="s1", parent_id=None, node="", start=0.0, end=None, **attrs):
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "node": node,
+        "start": start,
+        "end": end if end is not None else start,
+        "attributes": attrs,
+    }
+
+
+SAMPLE = [
+    span("scenario:test", span_id="root", start=0.0, end=2.0),
+    span("ipvs.request", span_id="req", parent_id="root", node="n1", start=0.5, end=0.7, vip="10.0.0.80:80"),
+    span("http.dispatch", span_id="disp", parent_id="req", node="n2", start=0.6, end=0.6),
+]
+
+
+def test_spans_document_format_marker():
+    doc = spans_document(SAMPLE, {"seed": 42})
+    assert doc["format"] == "repro.telemetry/spans.v1"
+    assert doc["meta"] == {"seed": 42}
+    assert doc["spans"] == SAMPLE
+
+
+def test_chrome_document_metadata_and_thread_mapping():
+    doc = chrome_trace_document(SAMPLE)
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert meta[0]["name"] == "process_name"
+    thread_names = {
+        e["tid"]: e["args"]["name"] for e in meta if e["name"] == "thread_name"
+    }
+    # Sorted node order: "" -> "platform" first, then n1, n2.
+    assert thread_names == {0: "platform", 1: "n1", 2: "n2"}
+
+
+def test_chrome_events_carry_causal_ids_and_microseconds():
+    doc = chrome_trace_document(SAMPLE)
+    events = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    request = events["ipvs.request"]
+    assert request["ts"] == 500_000
+    assert request["dur"] == 200_000
+    assert request["cat"] == "ipvs"
+    assert request["args"]["parent_id"] == "root"
+    assert request["args"]["trace_id"] == "t1"
+    assert request["args"]["vip"] == "10.0.0.80:80"
+
+
+def test_chrome_zero_length_span_clamped_to_one_microsecond():
+    doc = chrome_trace_document(SAMPLE)
+    dispatch = [e for e in doc["traceEvents"] if e["name"] == "http.dispatch"][0]
+    assert dispatch["dur"] == 1
+
+
+def test_dumps_are_stable_and_newline_terminated():
+    for dump in (dump_spans_json, dump_chrome_json):
+        first = dump(SAMPLE, {"seed": 1})
+        assert first == dump(SAMPLE, {"seed": 1})
+        assert first.endswith("\n")
+        json.loads(first)
+
+
+def test_trace_roots_and_connectivity():
+    assert [s["span_id"] for s in trace_roots(SAMPLE)] == ["root"]
+    assert connected_trace_ids(SAMPLE) == ["t1"]
+
+
+def test_orphaned_parent_breaks_connectivity():
+    broken = SAMPLE + [
+        span("lost", trace_id="t1", span_id="x", parent_id="missing", start=1.0)
+    ]
+    assert connected_trace_ids(broken) == []
+
+
+def test_separate_traces_report_independently():
+    spans = SAMPLE + [span("other", trace_id="t2", span_id="o1", start=3.0)]
+    assert connected_trace_ids(spans) == ["t1", "t2"]

@@ -1,0 +1,140 @@
+"""Metrics instruments: bucketing semantics, quantiles, registry snapshots."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Histogram bucketing (Prometheus ``le``: value <= bound)
+# ----------------------------------------------------------------------
+def test_value_on_bucket_boundary_lands_in_that_bucket():
+    h = Histogram("h", (), buckets=(0.01, 0.1, 1.0))
+    h.observe(0.1)
+    assert h.counts == [0, 1, 0, 0]
+
+
+def test_value_below_first_bound_lands_in_first_bucket():
+    h = Histogram("h", (), buckets=(0.01, 0.1, 1.0))
+    h.observe(0.0001)
+    assert h.counts == [1, 0, 0, 0]
+
+
+def test_value_above_last_bound_lands_in_overflow():
+    h = Histogram("h", (), buckets=(0.01, 0.1, 1.0))
+    h.observe(50.0)
+    assert h.counts == [0, 0, 0, 1]
+
+
+def test_sum_and_count_accumulate():
+    h = Histogram("h", (), buckets=(1.0,))
+    for v in (0.25, 0.5, 3.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.sum == pytest.approx(3.75)
+    assert h.counts == [2, 1]
+
+
+def test_buckets_must_be_ascending_and_non_empty():
+    with pytest.raises(ValueError):
+        Histogram("h", (), buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", (), buckets=(1.0, 0.5))
+
+
+def test_default_buckets_are_latency_shaped():
+    assert DEFAULT_BUCKETS[0] == 0.001
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+# ----------------------------------------------------------------------
+# Quantiles (bucket-upper-bound estimates)
+# ----------------------------------------------------------------------
+def test_quantile_empty_histogram_is_zero():
+    assert Histogram("h", ()).quantile(0.5) == 0.0
+
+
+def test_quantile_returns_containing_bucket_bound():
+    h = Histogram("h", (), buckets=(0.01, 0.1, 1.0))
+    for _ in range(9):
+        h.observe(0.005)
+    h.observe(0.5)
+    assert h.quantile(0.50) == 0.01
+    assert h.quantile(0.95) == 1.0
+
+
+def test_quantile_overflow_reports_last_finite_bound():
+    h = Histogram("h", (), buckets=(0.01, 0.1))
+    h.observe(99.0)
+    assert h.quantile(0.5) == 0.1
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_counter_get_or_create_and_monotonicity():
+    registry = MetricsRegistry()
+    c = registry.counter("requests_total", vip="10.0.0.80:80")
+    c.inc()
+    c.inc(2.0)
+    assert registry.counter("requests_total", vip="10.0.0.80:80") is c
+    assert c.value == 3.0
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_label_order_does_not_split_instruments():
+    registry = MetricsRegistry()
+    a = registry.counter("c", x=1, y=2)
+    b = registry.counter("c", y=2, x=1)
+    assert a is b
+
+
+def test_set_gauge_vs_pull_gauge():
+    registry = MetricsRegistry()
+    g = registry.gauge("level")
+    g.set(7)
+    assert g.value == 7.0
+    box = [3]
+    pull = registry.gauge("pulled", fn=lambda: box[0])
+    assert pull.value == 3.0
+    box[0] = 9
+    assert pull.value == 9.0
+    with pytest.raises(RuntimeError):
+        pull.set(1)
+
+
+def test_remove_drops_instrument():
+    registry = MetricsRegistry()
+    registry.gauge("monitoring.cpu_seconds", instance="acme").set(1.0)
+    registry.remove("monitoring.cpu_seconds", instance="acme")
+    assert registry.snapshot()["gauges"] == {}
+
+
+def test_snapshot_is_sorted_and_renders_labels():
+    registry = MetricsRegistry()
+    registry.counter("b_total").inc()
+    registry.counter("a_total", zone="z", app="x").inc(2)
+    registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["a_total{app=x,zone=z}", "b_total"]
+    assert snap["counters"]["a_total{app=x,zone=z}"] == 2.0
+    hist = snap["histograms"]["lat"]
+    assert hist["buckets"] == [1.0]
+    assert hist["counts"] == [1, 0]
+    assert hist["count"] == 1
+    assert hist["p50"] == 1.0
+
+
+def test_snapshot_serialises_identically_across_equal_runs():
+    def build():
+        registry = MetricsRegistry()
+        for i in range(5):
+            registry.counter("c", i=i % 2).inc(i)
+            registry.histogram("h").observe(0.001 * (i + 1))
+        registry.gauge("g", fn=lambda: 42.0)
+        return json.dumps(registry.snapshot(), sort_keys=True)
+
+    assert build() == build()

@@ -1,0 +1,90 @@
+"""Runtime guard: the zero-overhead switch and scoped activation."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.rng import RngStreams
+from repro.telemetry import runtime
+from repro.telemetry.runtime import Telemetry, enabled, maybe_span
+
+
+def make_telemetry(seed=0, scenario="test"):
+    return Telemetry(Clock(), RngStreams(seed), scenario=scenario)
+
+
+def test_active_defaults_to_none():
+    assert runtime.ACTIVE is None
+
+
+def test_maybe_span_is_a_no_op_when_inactive():
+    with maybe_span("anything", node="n1", attributes={"k": 1}) as span:
+        assert span is None
+
+
+def test_maybe_span_records_when_active():
+    telemetry = make_telemetry()
+    with enabled(telemetry):
+        with maybe_span("op", node="n1", attributes={"k": 1}) as span:
+            assert span is not None
+    assert [s.name for s in telemetry.tracer.spans] == ["op"]
+    assert telemetry.tracer.spans[0].attributes == {"k": 1}
+
+
+def test_enabled_restores_previous_handle():
+    outer, inner = make_telemetry(1), make_telemetry(2)
+    with enabled(outer):
+        with enabled(inner):
+            assert runtime.ACTIVE is inner
+        assert runtime.ACTIVE is outer
+    assert runtime.ACTIVE is None
+
+
+def test_enabled_restores_on_exception():
+    telemetry = make_telemetry()
+    with pytest.raises(RuntimeError):
+        with enabled(telemetry):
+            raise RuntimeError("boom")
+    assert runtime.ACTIVE is None
+
+
+def test_activate_deactivate_explicitly():
+    telemetry = make_telemetry()
+    assert runtime.activate(telemetry) is telemetry
+    assert runtime.ACTIVE is telemetry
+    runtime.deactivate()
+    assert runtime.ACTIVE is None
+
+
+def test_open_root_twice_raises():
+    telemetry = make_telemetry()
+    telemetry.open_root("a")
+    with pytest.raises(RuntimeError):
+        telemetry.open_root("b")
+
+
+def test_close_root_finishes_and_is_idempotent():
+    telemetry = make_telemetry()
+    root = telemetry.open_root("a")
+    telemetry.close_root()
+    telemetry.close_root()
+    assert root.end is not None
+    assert telemetry.tracer.current_context() is None
+
+
+def test_root_scope_parents_later_spans():
+    telemetry = make_telemetry()
+    root = telemetry.open_root("scenario")
+    span = telemetry.tracer.start_span("timer-driven")
+    telemetry.close_root()
+    assert span.parent_id == root.context.span_id
+    assert span.context.trace_id == root.context.trace_id
+
+
+def test_telemetry_ids_use_dedicated_rng_stream():
+    """Minting span ids must not perturb any other stream's draws."""
+    plain = RngStreams(123)
+    baseline = [plain.stream("network").random() for _ in range(5)]
+    shared = RngStreams(123)
+    telemetry = Telemetry(Clock(), shared)
+    telemetry.tracer.start_span("op")
+    assert [shared.stream("network").random() for _ in range(5)] == baseline
