@@ -9,7 +9,10 @@ the hot-path microbenchmark suite and writes ``BENCH_<rev>.json`` (see
 docs/PERF.md). With ``lint``: runs the sim-safety determinism linter
 over the package (or given paths) and exits non-zero on findings (see
 docs/ANALYSIS.md). With ``trace``: runs a telemetry-enabled scenario and
-exports a Chrome ``trace_event`` file (see docs/TELEMETRY.md).
+exports a Chrome ``trace_event`` file (see docs/TELEMETRY.md). With
+``conform``: runs a conformance-checked chaos campaign (virtual-synchrony
+axioms + registry linearizability) and emits a deterministic JSON verdict
+(see docs/CONFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -39,6 +42,10 @@ def main(argv=None) -> int:
         from repro.telemetry.cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "conform":
+        from repro.conformance.cli import conform_main
+
+        return conform_main(argv[1:])
     if argv and argv[0] == "demo":
         argv = argv[1:]
     return demo_main(argv)

@@ -1,0 +1,88 @@
+"""Jepsen-style conformance checking for the platform's protocols.
+
+The dependability argument rests on group-communication guarantees —
+view membership, FIFO and total-order multicast — keeping replicated
+deployment state consistent across failures. This package *checks* those
+guarantees, the way Jepsen/Knossos check production stacks: record what
+a run observably did into a :class:`~repro.conformance.history.History`,
+then judge the history offline against virtual-synchrony axioms
+(:mod:`~repro.conformance.axioms`) and a Wing–Gong linearizability
+checker for the deployment registry
+(:mod:`~repro.conformance.linearizability`).
+
+Recording is off by default and costs one ``ACTIVE is None`` test per
+tap when off (:mod:`~repro.conformance.runtime`). Turn it on per block::
+
+    from repro.conformance import recording, check_history
+
+    with recording(env.loop.clock) as recorder:
+        ...  # run the scenario
+    violations = check_history(recorder.history)
+
+or per campaign with ``ChaosCampaign(conformance=True)``, or from the
+shell with ``python -m repro conform --scenario crash --seed 7``.
+
+Every checker is proven able to fail: :mod:`~repro.conformance.mutants`
+seeds targeted protocol mutations (test-only hooks in the real code
+paths) and ``tests/conformance/test_mutants.py`` asserts each axiom
+flags its mutant. See docs/CONFORMANCE.md.
+"""
+
+from repro.conformance.axioms import (
+    AXIOMS,
+    ConformanceViolation,
+    run_axioms,
+)
+from repro.conformance.history import History, HistoryEvent, payload_digest
+from repro.conformance.linearizability import (
+    Operation,
+    check_linearizability,
+    operations_from,
+)
+from repro.conformance.mutants import (
+    MUTANT_NAMES,
+    protocol_mutation,
+)
+from repro.conformance.recorder import HistoryRecorder
+from repro.conformance.runtime import recording
+
+#: Lazily re-exported from repro.conformance.report (PEP 562): report pulls
+#: in repro.faults.campaign, and the instrumented protocol modules
+#: (gcs/member.py, migration/) import this package — an eager import here
+#: would make that a cycle.
+_REPORT_EXPORTS = (
+    "CHECKER_NAMES",
+    "campaign_verdict",
+    "check_history",
+    "replay_and_check",
+    "verdict_json",
+)
+
+
+def __getattr__(name):
+    if name in _REPORT_EXPORTS:
+        from repro.conformance import report
+
+        return getattr(report, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+__all__ = [
+    "AXIOMS",
+    "CHECKER_NAMES",
+    "ConformanceViolation",
+    "History",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "MUTANT_NAMES",
+    "Operation",
+    "campaign_verdict",
+    "check_history",
+    "check_linearizability",
+    "operations_from",
+    "payload_digest",
+    "protocol_mutation",
+    "recording",
+    "replay_and_check",
+    "run_axioms",
+    "verdict_json",
+]

@@ -1,0 +1,337 @@
+"""Virtual-synchrony axioms, checked offline over a recorded History.
+
+Each checker is a single forward pass (O(events), small constant) over
+one :class:`~repro.conformance.history.History` and returns the
+violations it found. The axioms are *protocol-honest*: this platform's
+group membership deliberately weakens textbook view synchrony (no
+view-synchronous flushing; a coordinator failover can drop messages it
+sequenced but never disseminated; a split brain runs two sequencers that
+both bump ``view_id`` from the same base — see docs/FAULTS.md), so each
+check is scoped to what the implementation actually promises. A checker
+that flags documented behaviour is a broken checker, and a checker that
+can never fire is not a test — ``tests/conformance/test_mutants.py``
+proves every axiom here detects its seeded protocol mutant.
+
+The axioms:
+
+``view-monotonic``
+    A member (one endpoint incarnation) never installs a view whose id
+    is <= one it already installed. Catches ``accept_stale_views``.
+``self-delivery``
+    A FIFO multicast is delivered by its own sender (the platform does
+    this synchronously in ``multicast``). Total-order self-delivery is
+    *not* required: a sequenced message can die with a crashing
+    coordinator, which is the documented weakening. Catches
+    ``skip_self_delivery``.
+``fifo-order``
+    Per (receiver incarnation, sender), delivered FIFO sequence numbers
+    strictly increase. The expectation resets when the sender rejoins
+    (it appears in a view's ``joined`` set) because a fresh incarnation
+    restarts its counter. Catches ``fifo_eager_delivery``.
+``total-order-agreement``
+    For one (group, order seq) delivered by two members holding the
+    *same view identity* (view id + member set), the (origin, payload)
+    must match. Split-brain deliveries carry different view identities
+    and are exempt by construction. Catches ``self_sequencing``.
+``total-order-prefix``
+    Per member incarnation, total-order delivery seqs are contiguous;
+    the cursor may only jump via a view install's ``order_seq`` (how the
+    protocol hands a joiner the sequencer's position). Catches
+    ``drain_with_holes``.
+``same-view-delivery``
+    If one message is delivered under two different view identities, the
+    member that used the older view must either catch up (install a newer
+    view later — the change was merely in flight, the documented no-flush
+    race) or go silent (it crashed before the VIEW frame arrived). A
+    member that delivers in a stale view and *stays active without ever
+    installing a newer one* is running the protocol wrong. Catches
+    ``skip_view_install``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.conformance.history import History
+
+
+@dataclass(frozen=True)
+class ConformanceViolation:
+    """One axiom (or linearizability) failure, pinned to history events."""
+
+    checker: str
+    message: str
+    node: str = ""
+    events: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "checker": self.checker,
+            "message": self.message,
+            "node": self.node,
+            "events": list(self.events),
+        }
+
+    def __str__(self) -> str:
+        where = " at %s" % self.node if self.node else ""
+        return "[%s]%s %s (events %s)" % (
+            self.checker,
+            where,
+            self.message,
+            ",".join(str(i) for i in self.events),
+        )
+
+
+def check_view_monotonic(history: History) -> List[ConformanceViolation]:
+    violations: List[ConformanceViolation] = []
+    last: Dict[Tuple[str, int, str], Tuple[int, int]] = {}
+    for event in history.of_kind("view_install"):
+        data = event.data
+        key = (event.node, data["incarnation"], data["group"])
+        previous = last.get(key)
+        if previous is not None and data["view_id"] <= previous[0]:
+            violations.append(
+                ConformanceViolation(
+                    checker="view-monotonic",
+                    message="installed view %d after view %d in group %r"
+                    % (data["view_id"], previous[0], data["group"]),
+                    node=event.node,
+                    events=(previous[1], event.index),
+                )
+            )
+        last[key] = (data["view_id"], event.index)
+    return violations
+
+
+def check_self_delivery(history: History) -> List[ConformanceViolation]:
+    delivered = set()
+    for event in history.of_kind("deliver"):
+        data = event.data
+        if data["kind"] == "fifo" and data["sender"] == event.node:
+            delivered.add(
+                (event.node, data["incarnation"], data["group"], data["seq"])
+            )
+    violations: List[ConformanceViolation] = []
+    for event in history.of_kind("send"):
+        data = event.data
+        if data["kind"] != "fifo":
+            continue
+        key = (event.node, data["incarnation"], data["group"], data["seq"])
+        if key not in delivered:
+            violations.append(
+                ConformanceViolation(
+                    checker="self-delivery",
+                    message="fifo multicast seq %s in group %r never "
+                    "delivered to its own sender" % (data["seq"], data["group"]),
+                    node=event.node,
+                    events=(event.index,),
+                )
+            )
+    return violations
+
+
+def check_fifo_order(history: History) -> List[ConformanceViolation]:
+    violations: List[ConformanceViolation] = []
+    last: Dict[Tuple[str, int, str, str], Tuple[int, int]] = {}
+    for event in history.events:
+        data = event.data
+        if event.kind == "view_install":
+            # A rejoining sender restarts its FIFO counter: forget it.
+            for sender in data["joined"]:
+                last.pop(
+                    (event.node, data["incarnation"], data["group"], sender),
+                    None,
+                )
+        elif event.kind == "deliver" and data["kind"] == "fifo":
+            key = (
+                event.node,
+                data["incarnation"],
+                data["group"],
+                data["sender"],
+            )
+            previous = last.get(key)
+            if previous is not None and data["seq"] <= previous[0]:
+                violations.append(
+                    ConformanceViolation(
+                        checker="fifo-order",
+                        message="delivered fifo seq %s from %r after seq %s "
+                        "(duplicate or reorder)"
+                        % (data["seq"], data["sender"], previous[0]),
+                        node=event.node,
+                        events=(previous[1], event.index),
+                    )
+                )
+            last[key] = (data["seq"], event.index)
+    return violations
+
+
+def check_total_order_agreement(history: History) -> List[ConformanceViolation]:
+    violations: List[ConformanceViolation] = []
+    seen: Dict[Tuple, Tuple[str, str, str, int]] = {}
+    for event in history.of_kind("deliver"):
+        data = event.data
+        if data["kind"] != "total":
+            continue
+        identity = (
+            data["group"],
+            data["seq"],
+            data["view_id"],
+            tuple(data["view_members"]),
+        )
+        observed = (data["sender"], data["payload"])
+        previous = seen.get(identity)
+        if previous is None:
+            seen[identity] = (data["sender"], data["payload"], event.node, event.index)
+        elif observed != previous[:2]:
+            violations.append(
+                ConformanceViolation(
+                    checker="total-order-agreement",
+                    message="order seq %s in view %s of group %r is "
+                    "(%s, %s) here but (%s, %s) at %s"
+                    % (
+                        data["seq"],
+                        data["view_id"],
+                        data["group"],
+                        data["sender"],
+                        data["payload"][:8],
+                        previous[0],
+                        previous[1][:8],
+                        previous[2],
+                    ),
+                    node=event.node,
+                    events=(previous[3], event.index),
+                )
+            )
+    return violations
+
+
+def check_total_order_prefix(history: History) -> List[ConformanceViolation]:
+    violations: List[ConformanceViolation] = []
+    expected: Dict[Tuple[str, int, str], int] = {}
+    for event in history.events:
+        data = event.data
+        if event.kind == "view_install":
+            key = (event.node, data["incarnation"], data["group"])
+            cursor = expected.get(key)
+            # order_seq is the sequencer position the view hands a joiner;
+            # the cursor may jump forward through it, never backward.
+            expected[key] = (
+                data["order_seq"]
+                if cursor is None
+                else max(cursor, data["order_seq"])
+            )
+        elif event.kind == "deliver" and data["kind"] == "total":
+            key = (event.node, data["incarnation"], data["group"])
+            cursor = expected.get(key)
+            if cursor is not None and data["seq"] != cursor:
+                violations.append(
+                    ConformanceViolation(
+                        checker="total-order-prefix",
+                        message="delivered order seq %s while expecting %s "
+                        "in group %r (hole or replay in the total order)"
+                        % (data["seq"], cursor, data["group"]),
+                        node=event.node,
+                        events=(event.index,),
+                    )
+                )
+            expected[key] = data["seq"] + 1
+    return violations
+
+
+def check_same_view_delivery(history: History) -> List[ConformanceViolation]:
+    # Per (node, incarnation, group): installs as (index, view_id), and the
+    # index of the member's last recorded activity. Both feed the in-flight
+    # exemptions below.
+    installs_by_member: Dict[Tuple[str, int, str], List[Tuple[int, int]]] = {}
+    last_activity: Dict[Tuple[str, int], int] = {}
+    for event in history.events:
+        incarnation = event.data.get("incarnation")
+        if incarnation is not None:
+            last_activity[(event.node, incarnation)] = event.index
+        if event.kind == "view_install":
+            key = (event.node, event.data["incarnation"], event.data["group"])
+            installs_by_member.setdefault(key, []).append(
+                (event.index, event.data["view_id"])
+            )
+
+    deliveries: Dict[Tuple, List[Tuple[int, Optional[int], Tuple, str, int]]] = {}
+    for event in history.of_kind("deliver"):
+        data = event.data
+        message = (
+            data["group"],
+            data["kind"],
+            data["sender"],
+            data["seq"],
+            data["payload"],
+        )
+        deliveries.setdefault(message, []).append(
+            (
+                event.index,
+                data["view_id"],
+                tuple(data["view_members"]),
+                event.node,
+                data["incarnation"],
+            )
+        )
+
+    violations: List[ConformanceViolation] = []
+    for message, observed in deliveries.items():
+        identities = {(vid, members) for _, vid, members, _, _ in observed}
+        if len(identities) <= 1:
+            continue
+        view_ids = [vid for _, vid, _, _, _ in observed if vid is not None]
+        if not view_ids:
+            continue
+        newest = max(view_ids)
+        group = message[0]
+        for index, view_id, _members, node, incarnation in observed:
+            if view_id is None or view_id >= newest:
+                continue
+            # This member delivered under an older view than some peer.
+            # That alone is the documented no-flush race — only a member
+            # that *stays* stale while remaining active is running the
+            # protocol wrong:
+            member_installs = installs_by_member.get(
+                (node, incarnation, group), []
+            )
+            if any(i > index and vid > view_id for i, vid in member_installs):
+                continue  # caught up: the view change was in flight
+            if last_activity.get((node, incarnation), index) <= index:
+                continue  # went silent (crashed) before it could catch up
+            violations.append(
+                ConformanceViolation(
+                    checker="same-view-delivery",
+                    message="%s message seq %s from %r in group %r delivered "
+                    "in stale view %d (peers used view %d) and the member "
+                    "stayed active without ever installing a newer view"
+                    % (message[1], message[3], message[2], group, view_id, newest),
+                    node=node,
+                    events=tuple(
+                        sorted(idx for idx, _, _, _, _ in observed)
+                    ),
+                )
+            )
+    return violations
+
+
+#: Axiom name -> checker, in reporting order.
+AXIOMS: Dict[str, Callable[[History], List[ConformanceViolation]]] = {
+    "view-monotonic": check_view_monotonic,
+    "self-delivery": check_self_delivery,
+    "fifo-order": check_fifo_order,
+    "total-order-agreement": check_total_order_agreement,
+    "total-order-prefix": check_total_order_prefix,
+    "same-view-delivery": check_same_view_delivery,
+}
+
+
+def run_axioms(
+    history: History, names: Optional[List[str]] = None
+) -> List[ConformanceViolation]:
+    """Run the named axioms (default: all) and concatenate violations."""
+    selected = list(AXIOMS) if names is None else names
+    violations: List[ConformanceViolation] = []
+    for name in selected:
+        violations.extend(AXIOMS[name](history))
+    return violations

@@ -1,0 +1,163 @@
+"""The history model: what one run *observably did*, as checkable data.
+
+A :class:`History` is an append-only, index-ordered sequence of
+:class:`HistoryEvent` values recorded while a scenario runs (see
+:mod:`repro.conformance.recorder`). Everything downstream — the
+virtual-synchrony axioms and the linearizability checker — is an offline
+pass over this one structure, which is what makes the checkers cheap to
+add to and safe to run after the fact: the protocol never knows it is
+being judged.
+
+Event kinds and their ``data`` fields:
+
+``view_install``
+    ``group, view_id, members, order_seq, joined, left, incarnation`` —
+    one group member adopted a view (the total-order cursor ``order_seq``
+    explains legal delivery-sequence jumps).
+``send``
+    ``group, kind ("fifo"|"total"), seq (fifo only), payload, incarnation``
+    — a member multicast a payload.
+``deliver``
+    ``group, kind, sender, seq, payload, view_id, view_members,
+    incarnation`` — a member delivered a payload, stamped with the view it
+    held at that instant.
+``op_invoke`` / ``op_return``
+    ``op, action, key, value`` / ``op, result, ok`` — one replicated
+    deployment-registry operation's invocation and response (the
+    linearizability checker pairs them by ``op``).
+``migration``
+    ``event ("failover"|"activation"|"deploy"), instance, from_node,
+    to_node, reason, warm, downtime`` — instance movement milestones.
+
+Payloads are stored as short digests (:func:`payload_digest`), not
+values: checkers only ever need equality, and digests keep the history —
+and the JSON verdict built from it — small and byte-stable.
+
+When telemetry is active each event also carries the ambient span context
+(``trace_id``/``span_id``), so a conformance violation can be pinned to
+the exact span in a trace export (docs/TELEMETRY.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: The recognised event kinds, in no particular order.
+EVENT_KINDS = (
+    "view_install",
+    "send",
+    "deliver",
+    "op_invoke",
+    "op_return",
+    "migration",
+)
+
+
+def payload_digest(payload: Any) -> str:
+    """Short, deterministic fingerprint of an application payload.
+
+    ``repr`` is stable for the payload shapes the platform multicasts
+    (dicts keep insertion order, floats render identically run to run on
+    the deterministic sim), so two same-seed runs digest identically.
+    """
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One observation; ``index`` is the global happened-before order."""
+
+    index: int
+    at: float
+    kind: str
+    node: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "index": self.index,
+            "at": round(self.at, 9),
+            "kind": self.kind,
+            "node": self.node,
+            "data": {k: self.data[k] for k in sorted(self.data)},
+        }
+        if self.span_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+        return out
+
+    def __str__(self) -> str:
+        return "%6d %10.6f %-12s %-24s %s" % (
+            self.index,
+            self.at,
+            self.kind,
+            self.node,
+            {k: self.data[k] for k in sorted(self.data)},
+        )
+
+
+class History:
+    """Append-only event log for one run (one chaos episode, one test)."""
+
+    def __init__(self) -> None:
+        self.events: List[HistoryEvent] = []
+
+    def append(
+        self,
+        at: float,
+        kind: str,
+        node: str,
+        data: Dict[str, Any],
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+    ) -> HistoryEvent:
+        event = HistoryEvent(
+            index=len(self.events),
+            at=at,
+            kind=kind,
+            node=node,
+            data=data,
+            trace_id=trace_id,
+            span_id=span_id,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[HistoryEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def groups(self) -> List[str]:
+        """Every GCS group that appears in the history, sorted."""
+        seen = set()
+        for event in self.events:
+            group = event.data.get("group")
+            if group is not None:
+                seen.add(group)
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self.events]
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering — byte-identical for same-seed runs."""
+        return json.dumps(self.to_dicts(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the replay fingerprint."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[HistoryEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        return "History(%d events, %s)" % (len(self.events), self.digest()[:12])

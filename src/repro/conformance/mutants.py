@@ -1,0 +1,95 @@
+"""Test-only protocol mutations: checkers that cannot fail are not tests.
+
+A conformance checker earns its keep by *detecting* protocol bugs, so every
+axiom in :mod:`repro.conformance.axioms` is paired with at least one seeded
+mutation of the real protocol that it must flag (see the mutant matrix in
+``tests/conformance/test_mutants.py`` and docs/CONFORMANCE.md). Mutations
+live behind this registry so that:
+
+* the production tree carries **zero** mutated behaviour — every hook site
+  guards with ``if _mut.ACTIVE and _mut.enabled(...)`` where ``ACTIVE`` is
+  an empty dict unless a test turned a mutation on, the same
+  one-load-and-truth-test cost profile as the telemetry guard;
+* a mutation can be scoped to specific protocol endpoints (e.g. one group
+  member misses view installs while the rest behave), which is how real
+  partial failures look;
+* tests cannot leave mutations behind: :func:`protocol_mutation` is a
+  context manager that always restores the previous state.
+
+The catalogue (mutation -> axiom that must catch it):
+
+=====================  ==============================================
+``skip_self_delivery``   sender omits local FIFO delivery → ``self-delivery``
+``fifo_eager_delivery``  receiver delivers FIFO frames on arrival,
+                         skipping the per-sender reorder buffer →
+                         ``fifo-order``
+``self_sequencing``      total-order senders sequence locally instead
+                         of forwarding to the coordinator →
+                         ``total-order-agreement``
+``drain_with_holes``     ordered-delivery buffer drains past gaps →
+                         ``total-order-prefix``
+``accept_stale_views``   members re-install stale/duplicate views →
+                         ``view-monotonic``
+``skip_view_install``    a member ignores later VIEW frames, delivering
+                         in a stale view → ``same-view-delivery``
+``stale_directory_reads`` CustomerDirectory.get returns the first value
+                         it ever saw for a key → ``linearizability``
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterator, Optional, Sequence
+
+#: All known mutation names (spelling guard: enabling a typo is an error).
+MUTANT_NAMES = (
+    "skip_self_delivery",
+    "fifo_eager_delivery",
+    "self_sequencing",
+    "drain_with_holes",
+    "accept_stale_views",
+    "skip_view_install",
+    "stale_directory_reads",
+)
+
+#: mutation name -> endpoint scope (None = every endpoint). Empty when no
+#: mutation is active — the common case the hot-path guard tests first.
+ACTIVE: Dict[str, Optional[FrozenSet[str]]] = {}
+
+
+def enable(name: str, endpoints: Optional[Sequence[str]] = None) -> None:
+    """Turn ``name`` on, optionally scoped to specific endpoint names."""
+    if name not in MUTANT_NAMES:
+        raise ValueError("unknown protocol mutation: %r" % name)
+    ACTIVE[name] = frozenset(endpoints) if endpoints is not None else None
+
+
+def disable(name: str) -> None:
+    ACTIVE.pop(name, None)
+
+
+def disable_all() -> None:
+    ACTIVE.clear()
+
+
+def enabled(name: str, endpoint: str = "") -> bool:
+    """Is ``name`` active for ``endpoint``? (Scope None matches everyone.)"""
+    if name not in ACTIVE:
+        return False
+    scope = ACTIVE[name]
+    return scope is None or endpoint in scope
+
+
+@contextmanager
+def protocol_mutation(
+    name: str, endpoints: Optional[Sequence[str]] = None
+) -> Iterator[None]:
+    """Enable one mutation for a block, restoring the previous state."""
+    previous = dict(ACTIVE)
+    enable(name, endpoints)
+    try:
+        yield
+    finally:
+        ACTIVE.clear()
+        ACTIVE.update(previous)

@@ -1,0 +1,205 @@
+"""HistoryRecorder: the tap the protocol hot paths call into.
+
+One recorder observes one run. Instrumented sites (``gcs/member.py``,
+``migration/module.py``, ``migration/registry.py``) guard every call
+with the ``ACTIVE is not None`` pattern from
+:mod:`repro.conformance.runtime`, so with recording off the cost is one
+module-attribute load and a compare — identical to the telemetry guard
+and inside the same <3% bench budget.
+
+The recorder does **no scheduling and draws no randomness**: it only
+appends to its :class:`~repro.conformance.history.History` with the sim
+clock's current time, so recording an episode leaves fault-trace digests
+— and therefore every pinned determinism guard — byte-identical.
+
+When a telemetry handle is simultaneously active, each event is stamped
+with the ambient span context, cross-linking conformance findings into
+the distributed trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.conformance.history import History, payload_digest
+from repro.telemetry import runtime as _rt
+
+
+class HistoryRecorder:
+    """Builds one deterministic :class:`History` from protocol taps."""
+
+    def __init__(self, clock: Any) -> None:
+        self._clock = clock
+        self.history = History()
+        self._next_op = 0
+        #: op id -> (process, action, key) for response pairing sanity.
+        self._open_ops: Dict[int, Tuple[str, str, str]] = {}
+        #: Raw channel incarnation -> per-run ordinal. The channel counter
+        #: is process-global, so raw values depend on how many members any
+        #: earlier run in the same process created; first-seen ordinals
+        #: keep same-seed histories byte-identical run to run.
+        self._incarnations: Dict[int, int] = {}
+
+    def _incarnation(self, raw: int) -> int:
+        ordinal = self._incarnations.get(raw)
+        if ordinal is None:
+            ordinal = len(self._incarnations)
+            self._incarnations[raw] = ordinal
+        return ordinal
+
+    # ------------------------------------------------------------------
+    def _span_context(self) -> Tuple[Optional[str], Optional[str]]:
+        telemetry = _rt.ACTIVE
+        if telemetry is None:
+            return None, None
+        context = telemetry.tracer.current_context()
+        if context is None:
+            return None, None
+        return context.trace_id, context.span_id
+
+    def _append(self, kind: str, node: str, data: Dict[str, Any]) -> None:
+        trace_id, span_id = self._span_context()
+        self.history.append(
+            at=self._clock.now,
+            kind=kind,
+            node=node,
+            data=data,
+            trace_id=trace_id,
+            span_id=span_id,
+        )
+
+    # ------------------------------------------------------------------
+    # GCS taps (called from repro.gcs.member)
+    # ------------------------------------------------------------------
+    def view_install(
+        self,
+        node: str,
+        incarnation: int,
+        group: str,
+        view_id: int,
+        members: Tuple[str, ...],
+        order_seq: int,
+        joined: Tuple[str, ...],
+        left: Tuple[str, ...],
+    ) -> None:
+        self._append(
+            "view_install",
+            node,
+            {
+                "group": group,
+                "view_id": view_id,
+                "members": list(members),
+                "order_seq": order_seq,
+                "joined": sorted(joined),
+                "left": sorted(left),
+                "incarnation": self._incarnation(incarnation),
+            },
+        )
+
+    def multicast_send(
+        self,
+        node: str,
+        incarnation: int,
+        group: str,
+        kind: str,
+        seq: Optional[int],
+        payload: Any,
+    ) -> None:
+        self._append(
+            "send",
+            node,
+            {
+                "group": group,
+                "kind": kind,
+                "seq": seq,
+                "payload": payload_digest(payload),
+                "incarnation": self._incarnation(incarnation),
+            },
+        )
+
+    def deliver(
+        self,
+        node: str,
+        incarnation: int,
+        group: str,
+        kind: str,
+        sender: str,
+        seq: Optional[int],
+        payload: Any,
+        view_id: Optional[int],
+        view_members: Tuple[str, ...],
+    ) -> None:
+        self._append(
+            "deliver",
+            node,
+            {
+                "group": group,
+                "kind": kind,
+                "sender": sender,
+                "seq": seq,
+                "payload": payload_digest(payload),
+                "view_id": view_id,
+                "view_members": list(view_members),
+                "incarnation": self._incarnation(incarnation),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Replicated-registry taps (migration.registry, migration.module)
+    # ------------------------------------------------------------------
+    def op_invoke(
+        self, process: str, action: str, key: str, value: Optional[str] = None
+    ) -> int:
+        """Record an operation invocation; returns the op id to close it."""
+        op_id = self._next_op
+        self._next_op += 1
+        self._open_ops[op_id] = (process, action, key)
+        self._append(
+            "op_invoke",
+            process,
+            {"op": op_id, "action": action, "key": key, "value": value},
+        )
+        return op_id
+
+    def op_return(
+        self, op_id: int, result: Optional[str] = None, ok: bool = True
+    ) -> None:
+        opened = self._open_ops.pop(op_id, None)
+        process = opened[0] if opened is not None else "?"
+        self._append(
+            "op_return", process, {"op": op_id, "result": result, "ok": ok}
+        )
+
+    # ------------------------------------------------------------------
+    # Migration milestones
+    # ------------------------------------------------------------------
+    def migration_event(
+        self,
+        node: str,
+        event: str,
+        instance: str,
+        from_node: str,
+        to_node: str,
+        reason: str,
+        warm: bool,
+        downtime: Optional[float] = None,
+    ) -> None:
+        self._append(
+            "migration",
+            node,
+            {
+                "event": event,
+                "instance": instance,
+                "from_node": from_node,
+                "to_node": to_node,
+                "reason": reason,
+                "warm": warm,
+                "downtime": None if downtime is None else round(downtime, 9),
+            },
+        )
+
+    def __repr__(self) -> str:
+        return "HistoryRecorder(%d events, %d open ops)" % (
+            len(self.history),
+            len(self._open_ops),
+        )

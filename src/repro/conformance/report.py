@@ -1,0 +1,121 @@
+"""Run checkers over a history; replay episodes with checking; verdicts.
+
+Three layers on top of the recorder:
+
+* :func:`check_history` — run the virtual-synchrony axioms plus the
+  linearizability checker over one recorded history.
+* :func:`replay_and_check` — :func:`repro.faults.campaign.replay_schedule`
+  with recording wrapped around it: the conformance analogue of the chaos
+  reproduction building block. Given the same scenario seed and schedule
+  it reproduces both the fault trace *and* the conformance verdict.
+* :func:`campaign_verdict` / :func:`verdict_json` — the deterministic
+  JSON document ``python -m repro conform`` emits and CI diffs byte-for-
+  byte across same-seed runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.conformance.axioms import AXIOMS, ConformanceViolation, run_axioms
+from repro.conformance.history import History
+from repro.conformance.linearizability import check_linearizability
+from repro.conformance.runtime import recording
+from repro.faults.campaign import replay_schedule
+from repro.faults.invariants import InvariantRegistry, Violation
+from repro.faults.schedule import FaultSchedule
+from repro.faults.trace import FaultTrace
+
+#: Every checker, in reporting order.
+CHECKER_NAMES: Tuple[str, ...] = tuple(AXIOMS) + ("linearizability",)
+
+
+def check_history(history: History) -> List[ConformanceViolation]:
+    """All virtual-synchrony axioms + per-key linearizability."""
+    violations = run_axioms(history)
+    violations.extend(check_linearizability(history))
+    return violations
+
+
+def replay_and_check(
+    env: Any,
+    schedule: FaultSchedule,
+    duration: float,
+    settle: float = 10.0,
+    check_interval: float = 0.5,
+    registry: Optional[InvariantRegistry] = None,
+    repair: bool = True,
+) -> Tuple[FaultTrace, List[Violation], History, List[ConformanceViolation]]:
+    """Replay one episode with the history recorder on, then check it.
+
+    Drop-in superset of ``replay_schedule`` for reproduction snippets:
+    same trace and invariant results (the recorder schedules nothing and
+    draws no randomness), plus the recorded history and its conformance
+    verdict.
+    """
+    with recording(env.loop.clock) as recorder:
+        trace, violations = replay_schedule(
+            env,
+            schedule,
+            duration=duration,
+            settle=settle,
+            check_interval=check_interval,
+            registry=registry,
+            repair=repair,
+        )
+    return trace, violations, recorder.history, check_history(recorder.history)
+
+
+# ----------------------------------------------------------------------
+# Verdict documents
+# ----------------------------------------------------------------------
+def campaign_verdict(result: Any, scenario: str = "default") -> Dict[str, Any]:
+    """Deterministic verdict dict for a conformance-enabled campaign.
+
+    ``result`` is a :class:`repro.faults.campaign.CampaignResult` whose
+    episodes were run with ``conformance=True``.
+    """
+    episodes = []
+    for episode in result.episodes:
+        history = getattr(episode, "history", None)
+        episodes.append(
+            {
+                "index": episode.index,
+                "seed": episode.seed,
+                "verdict": episode.verdict.value,
+                "history_digest": episode.history_digest,
+                "events": 0 if history is None else len(history),
+                "ops": 0
+                if history is None
+                else len(history.of_kind("op_invoke")),
+                "invariant_violations": [
+                    str(v) for v in episode.violations
+                ],
+                "conformance_violations": [
+                    v.to_dict() for v in episode.conformance
+                ],
+            }
+        )
+    document = {
+        "tool": "repro.conformance",
+        "version": 1,
+        "scenario": scenario,
+        "seed": result.seed,
+        "checkers": list(CHECKER_NAMES),
+        "episodes": episodes,
+        "campaign_trace_digest": result.trace_digest(),
+        "ok": all(e["verdict"] == "ok" for e in episodes),
+    }
+    document["digest"] = hashlib.sha256(
+        json.dumps(document, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+    ).hexdigest()
+    return document
+
+
+def verdict_json(document: Dict[str, Any]) -> str:
+    """Canonical rendering: byte-identical for identical documents."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,54 @@
+"""Zero-overhead conformance switch, mirroring ``repro.telemetry.runtime``.
+
+Protocol hot paths (``gcs/member.py``, ``migration/``) guard every
+recorder tap with::
+
+    from repro.conformance import runtime as _crt
+    ...
+    if _crt.ACTIVE is not None:
+        _crt.ACTIVE.deliver(...)
+
+With recording off (the default, always) the per-call cost is one module
+attribute load and an ``is not None`` test — the same shape the telemetry
+subsystem already proved stays inside the <3% bench budget. ``ACTIVE`` is
+process-global on purpose: the sim is single-threaded, scenarios run one
+at a time, and a global keeps the guard branch-predictable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.conformance.recorder import HistoryRecorder
+
+#: The active recorder, or None (the permanent default outside checks).
+ACTIVE: Optional[HistoryRecorder] = None
+
+
+def activate(recorder: HistoryRecorder) -> HistoryRecorder:
+    """Install ``recorder`` as the process-wide tap target."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise RuntimeError("a conformance recorder is already active")
+    ACTIVE = recorder
+    return recorder
+
+
+def deactivate() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+def enabled() -> bool:
+    return ACTIVE is not None
+
+
+@contextmanager
+def recording(clock: Any) -> Iterator[HistoryRecorder]:
+    """Record everything inside the block into a fresh recorder."""
+    recorder = activate(HistoryRecorder(clock))
+    try:
+        yield recorder
+    finally:
+        deactivate()

@@ -22,6 +22,7 @@ from repro.faults.campaign import (
     CampaignResult,
     ChaosCampaign,
     Episode,
+    EpisodeVerdict,
     default_scenario,
     replay_schedule,
     verify_deployment,
@@ -52,6 +53,7 @@ __all__ = [
     "CampaignResult",
     "ChaosCampaign",
     "Episode",
+    "EpisodeVerdict",
     "default_scenario",
     "replay_schedule",
     "verify_deployment",

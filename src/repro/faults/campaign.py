@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.bundles import verify_bundles
@@ -135,6 +136,20 @@ def replay_schedule(
     return injector.trace, checker.violations
 
 
+class EpisodeVerdict(Enum):
+    """How one episode ended — invariant and conformance failures are
+    different diagnoses: an invariant violation means the cluster reached
+    a bad *state* (lost instance, split brain that never healed); a
+    conformance violation means a *protocol guarantee* was broken en
+    route (mis-ordered delivery, non-linearizable registry read) even if
+    the end state looks healthy."""
+
+    OK = "ok"
+    INVARIANT_VIOLATION = "invariant-violation"
+    CONFORMANCE_VIOLATION = "conformance-violation"
+    INVARIANT_AND_CONFORMANCE = "invariant+conformance-violation"
+
+
 @dataclass
 class Episode:
     """Everything one chaos episode produced."""
@@ -155,10 +170,27 @@ class Episode:
     #: Exported span dicts for the whole episode (telemetry campaigns
     #: only); one connected trace rooted at the episode span.
     spans: List[Any] = field(default_factory=list)
+    #: Conformance checker findings (conformance campaigns only) — see
+    #: repro.conformance; each is a ConformanceViolation.
+    conformance: List[Any] = field(default_factory=list)
+    #: Recorded protocol history (conformance campaigns only).
+    history: Optional[Any] = None
+    #: Digest of the recorded history ("" when recording was off).
+    history_digest: str = ""
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.conformance
+
+    @property
+    def verdict(self) -> EpisodeVerdict:
+        if self.violations and self.conformance:
+            return EpisodeVerdict.INVARIANT_AND_CONFORMANCE
+        if self.violations:
+            return EpisodeVerdict.INVARIANT_VIOLATION
+        if self.conformance:
+            return EpisodeVerdict.CONFORMANCE_VIOLATION
+        return EpisodeVerdict.OK
 
     @property
     def deployment_ok(self) -> bool:
@@ -194,8 +226,15 @@ class CampaignResult:
         return out
 
     @property
+    def conformance_violations(self) -> List[Any]:
+        out: List[Any] = []
+        for episode in self.episodes:
+            out.extend(episode.conformance)
+        return out
+
+    @property
     def ok(self) -> bool:
-        return not self.violations
+        return all(episode.ok for episode in self.episodes)
 
     @property
     def deployment_ok(self) -> bool:
@@ -284,6 +323,7 @@ class ChaosCampaign:
         schedule_factory: Optional[ScheduleFactory] = None,
         repair_failed: bool = True,
         telemetry: bool = False,
+        conformance: bool = False,
     ) -> None:
         if episodes < 1:
             raise ValueError("need at least one episode")
@@ -302,6 +342,13 @@ class ChaosCampaign:
         #: Telemetry draws ids from its own RNG stream and schedules
         #: nothing, so fault trace digests are identical either way.
         self.telemetry = telemetry
+        #: Record a protocol History per episode and judge it with every
+        #: conformance checker (virtual-synchrony axioms + registry
+        #: linearizability, see repro.conformance). The recorder draws no
+        #: randomness and schedules nothing, so fault trace digests are
+        #: unchanged; violations land in Episode.conformance and flip the
+        #: episode verdict to CONFORMANCE_VIOLATION.
+        self.conformance = conformance
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -340,6 +387,17 @@ class ChaosCampaign:
             )
             _rt.activate(telemetry_handle)
             telemetry_handle.open_root("episode:%d" % index)
+        recorder = None
+        if self.conformance:
+            # Imported here, not at module level: the conformance recorder
+            # is tapped from gcs/ and migration/, which this module's
+            # import chain reaches — a top-level import would be a cycle.
+            from repro.conformance import runtime as _conformance_rt
+            from repro.conformance.recorder import HistoryRecorder
+
+            recorder = _conformance_rt.activate(
+                HistoryRecorder(env.loop.clock)
+            )
         try:
             trace, violations = replay_schedule(
                 env,
@@ -351,9 +409,22 @@ class ChaosCampaign:
                 repair=self.repair_failed,
             )
         finally:
+            if recorder is not None:
+                from repro.conformance import runtime as _conformance_rt
+
+                _conformance_rt.deactivate()
             if telemetry_handle is not None:
                 telemetry_handle.close_root()
                 _rt.deactivate()
+        conformance_violations: List[Any] = []
+        history = None
+        history_digest = ""
+        if recorder is not None:
+            from repro.conformance.report import check_history
+
+            history = recorder.history
+            history_digest = history.digest()
+            conformance_violations = check_history(history)
         failover_seconds: List[float] = []
         spans: List[Any] = []
         if telemetry_handle is not None:
@@ -376,6 +447,9 @@ class ChaosCampaign:
             deployment=deployment,
             failover_seconds=failover_seconds,
             spans=spans,
+            conformance=conformance_violations,
+            history=history,
+            history_digest=history_digest,
         )
 
     # ------------------------------------------------------------------
@@ -395,11 +469,40 @@ class ChaosCampaign:
             scenario_import = (
                 "scenario = ...  # substitute your scenario factory (seed -> env)"
             )
+        header = [
+            "# Chaos reproduction: campaign seed=%d, episode %d"
+            % (self.seed, episode.index),
+            "# verdict: %s" % episode.verdict.value,
+            "# trace digest: %s" % episode.digest(),
+        ]
+        if episode.conformance:
+            # A conformance violation replays through the recording
+            # harness, which reproduces both the fault trace and the
+            # protocol history (same seed -> same history digest).
+            header.append("# history digest: %s" % episode.history_digest)
+            for violation in episode.conformance:
+                header.append("#   !! %s" % violation)
+            return "\n".join(
+                header
+                + [
+                    "from repro.conformance import replay_and_check",
+                    "from repro.faults import FaultSchedule",
+                    scenario_import,
+                    "",
+                    "schedule = %s" % episode.schedule.to_snippet(),
+                    "env = scenario(%d)" % episode.seed,
+                    "trace, violations, history, conformance = replay_and_check(",
+                    "    env, schedule, duration=%r, settle=%r, check_interval=%r,"
+                    % (self.episode_duration, self.settle, self.check_interval),
+                    "    repair=%r)" % self.repair_failed,
+                    "assert not conformance, conformance",
+                    "assert not violations, violations",
+                    "",
+                ]
+            )
         return "\n".join(
-            [
-                "# Chaos reproduction: campaign seed=%d, episode %d"
-                % (self.seed, episode.index),
-                "# trace digest: %s" % episode.digest(),
+            header
+            + [
                 "from repro.faults import FaultSchedule, replay_schedule",
                 scenario_import,
                 "",

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.conformance import mutants as _mut
+from repro.conformance import runtime as _crt
 from repro.gcs.channel import ReliableChannel
 from repro.gcs.directory import GroupDirectory
 from repro.gcs.view import View, ViewChange
@@ -187,7 +189,21 @@ class GroupMember:
             attributes={"group": self.group, "total_order": total_order},
         ):
             if total_order:
-                if self.is_coordinator:
+                if _crt.ACTIVE is not None:
+                    _crt.ACTIVE.multicast_send(
+                        self.endpoint_name,
+                        self._channel.incarnation,
+                        self.group,
+                        "total",
+                        None,
+                        payload,
+                    )
+                if self.is_coordinator or (
+                    # Mutant: a non-coordinator sequences locally, racing
+                    # the real sequencer for the same seq numbers.
+                    _mut.ACTIVE
+                    and _mut.enabled("self_sequencing", self.endpoint_name)
+                ):
                     self._sequence(self.endpoint_name, payload)
                 else:
                     self._channel.send(
@@ -197,10 +213,26 @@ class GroupMember:
             else:
                 self._fifo_seq += 1
                 frame = {"t": "FIFO", "seq": self._fifo_seq, "body": payload}
+                if _crt.ACTIVE is not None:
+                    _crt.ACTIVE.multicast_send(
+                        self.endpoint_name,
+                        self._channel.incarnation,
+                        self.group,
+                        "fifo",
+                        self._fifo_seq,
+                        payload,
+                    )
                 for member in self.view.members:
                     if member != self.endpoint_name:
                         self._channel.send(member, frame)
-                self._deliver(self.endpoint_name, payload)
+                if not (
+                    # Mutant: the sender forgets to deliver to itself.
+                    _mut.ACTIVE
+                    and _mut.enabled("skip_self_delivery", self.endpoint_name)
+                ):
+                    self._deliver(
+                        self.endpoint_name, payload, kind="fifo", seq=self._fifo_seq
+                    )
 
     # ------------------------------------------------------------------
     # Timers
@@ -389,12 +421,28 @@ class GroupMember:
     def _install(self, new_view: View, order_seq: int) -> None:
         old_view = self.view
         if old_view is not None and new_view.view_id <= old_view.view_id:
-            return
+            # Mutant: re-install stale/duplicate views instead of ignoring.
+            if not (
+                _mut.ACTIVE
+                and _mut.enabled("accept_stale_views", self.endpoint_name)
+            ):
+                return
         if not new_view.contains(self.endpoint_name):
             return
         self.view = new_view
         now = self._loop.clock.now
         change = ViewChange.between(old_view, new_view)
+        if _crt.ACTIVE is not None:
+            _crt.ACTIVE.view_install(
+                self.endpoint_name,
+                self._channel.incarnation,
+                self.group,
+                new_view.view_id,
+                new_view.members,
+                order_seq,
+                tuple(change.joined),
+                tuple(change.left),
+            )
         for member in new_view.members:
             self._last_heard.setdefault(member, now)
             # Grace period after install so slow heartbeats don't re-suspect.
@@ -473,6 +521,13 @@ class GroupMember:
         elif kind == "LEAVE":
             self._on_leave(body["member"])
         elif kind == "VIEW":
+            if (
+                # Mutant: ignore later views, delivering under a stale one.
+                _mut.ACTIVE
+                and _mut.enabled("skip_view_install", self.endpoint_name)
+                and self.view is not None
+            ):
+                return
             self._install(View.from_dict(body["view"]), body["order_seq"])
         elif kind == "SYNC":
             self._fifo_expected[sender] = body["fifo_seq"] + 1
@@ -512,18 +567,25 @@ class GroupMember:
     # FIFO delivery
     # ------------------------------------------------------------------
     def _on_fifo(self, sender: str, seq: int, payload: Any) -> None:
+        if _mut.ACTIVE and _mut.enabled("fifo_eager_delivery", self.endpoint_name):
+            # Mutant: deliver on arrival, skipping the reorder buffer.
+            self._deliver(sender, payload, kind="fifo", seq=seq)
+            self._fifo_expected[sender] = max(
+                self._fifo_expected.get(sender, 1), seq + 1
+            )
+            return
         expected = self._fifo_expected.get(sender, 1)
         if seq < expected:
             return  # duplicate
         if seq > expected:
             self._fifo_buffer.setdefault(sender, {})[seq] = payload
             return
-        self._deliver(sender, payload)
+        self._deliver(sender, payload, kind="fifo", seq=seq)
         self._fifo_expected[sender] = expected + 1
         buffered = self._fifo_buffer.get(sender, {})
         while self._fifo_expected[sender] in buffered:
             nxt = self._fifo_expected[sender]
-            self._deliver(sender, buffered.pop(nxt))
+            self._deliver(sender, buffered.pop(nxt), kind="fifo", seq=nxt)
             self._fifo_expected[sender] = nxt + 1
 
     # ------------------------------------------------------------------
@@ -546,14 +608,42 @@ class GroupMember:
         self._drain_order_buffer()
 
     def _drain_order_buffer(self) -> None:
+        if _mut.ACTIVE and _mut.enabled("drain_with_holes", self.endpoint_name):
+            # Mutant: drain everything buffered, skipping over gaps.
+            for seq in sorted(self._order_buffer):
+                origin, payload = self._order_buffer.pop(seq)
+                self._order_expected = max(self._order_expected, seq + 1)
+                self._order_next = max(self._order_next, self._order_expected)
+                self._deliver(origin, payload, kind="total", seq=seq)
+            return
         while self._order_expected in self._order_buffer:
-            origin, payload = self._order_buffer.pop(self._order_expected)
+            seq = self._order_expected
+            origin, payload = self._order_buffer.pop(seq)
             self._order_expected += 1
             self._order_next = max(self._order_next, self._order_expected)
-            self._deliver(origin, payload)
+            self._deliver(origin, payload, kind="total", seq=seq)
 
     # ------------------------------------------------------------------
-    def _deliver(self, sender: str, payload: Any) -> None:
+    def _deliver(
+        self,
+        sender: str,
+        payload: Any,
+        kind: str = "fifo",
+        seq: Optional[int] = None,
+    ) -> None:
+        if _crt.ACTIVE is not None:
+            view = self.view
+            _crt.ACTIVE.deliver(
+                self.endpoint_name,
+                self._channel.incarnation,
+                self.group,
+                kind,
+                sender,
+                seq,
+                payload,
+                None if view is None else view.view_id,
+                () if view is None else view.members,
+            )
         self.delivered_count += 1
         for listener in list(self.message_listeners):
             try:

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.cluster.future import Completion
 from repro.cluster.node import Node, NodeState
+from repro.conformance import runtime as _crt
 from repro.gcs.jgcs import GroupConfiguration
 from repro.gcs.view import ViewChange
 from repro.migration.inventory import ClusterInventory, NodeInventory
@@ -98,7 +99,7 @@ class MigrationModule:
         self.placement = placement if placement is not None else LeastLoadedPlacement()
         self.coordination = coordination
         self.inventory_interval = inventory_interval
-        self.customers = CustomerDirectory(node.store)
+        self.customers = CustomerDirectory(node.store, owner=node.node_id)
         config = GroupConfiguration(
             PLATFORM_GROUP,
             hb_interval=hb_interval,
@@ -525,6 +526,23 @@ class MigrationModule:
             if prepared is not None:
                 warm = True
                 bundle_count = prepared.bundle_count
+        deploy_op = None
+        if _crt.ACTIVE is not None:
+            _crt.ACTIVE.migration_event(
+                self.node.node_id,
+                "failover" if reason == "failure" else "deploy",
+                instance,
+                from_node,
+                self.node.node_id,
+                reason,
+                warm,
+            )
+            deploy_op = _crt.ACTIVE.op_invoke(
+                self.node.node_id,
+                "deploy",
+                "placement:%s" % instance,
+                value=self.node.node_id,
+            )
         mig_span = None
         telemetry = _rt.ACTIVE
         if telemetry is not None:
@@ -561,10 +579,25 @@ class MigrationModule:
             if mig_span is not None:
                 mig_span.attributes["ok"] = c.ok
                 mig_span.finish(self.loop.clock.now)
+            if deploy_op is not None and _crt.ACTIVE is not None:
+                _crt.ACTIVE.op_return(
+                    deploy_op, result=self.node.node_id, ok=c.ok
+                )
             if not c.ok:
                 self._redeploying.pop(instance, None)
                 return
             record.up_at = self.loop.clock.now
+            if _crt.ACTIVE is not None:
+                _crt.ACTIVE.migration_event(
+                    self.node.node_id,
+                    "activation",
+                    instance,
+                    from_node,
+                    self.node.node_id,
+                    reason,
+                    warm,
+                    downtime=record.downtime,
+                )
             if _rt.ACTIVE is not None:
                 downtime = record.downtime
                 if reason == "failure" and downtime is not None:

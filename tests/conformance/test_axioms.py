@@ -1,0 +1,263 @@
+"""Virtual-synchrony axiom checkers over hand-built synthetic histories.
+
+Each axiom gets a passing history and at least one violating history so
+the checkers are pinned independently of the live protocol (which
+``test_mutants.py`` covers end to end).
+"""
+
+from repro.conformance import History, run_axioms
+from repro.conformance.axioms import (
+    AXIOMS,
+    ConformanceViolation,
+    check_fifo_order,
+    check_same_view_delivery,
+    check_self_delivery,
+    check_total_order_agreement,
+    check_total_order_prefix,
+    check_view_monotonic,
+)
+
+
+class HistoryBuilder:
+    """Appends events with the recorder's data shapes, minimal noise."""
+
+    def __init__(self):
+        self.history = History()
+        self._at = 0.0
+
+    def _tick(self):
+        self._at += 0.1
+        return self._at
+
+    def install(self, node, view_id, members, order_seq=0, joined=(),
+                left=(), incarnation=1, group="g"):
+        self.history.append(
+            self._tick(), "view_install", node,
+            {"group": group, "view_id": view_id, "members": list(members),
+             "order_seq": order_seq, "joined": sorted(joined),
+             "left": sorted(left), "incarnation": incarnation},
+        )
+        return self
+
+    def send(self, node, kind, seq, payload="p", incarnation=1, group="g"):
+        self.history.append(
+            self._tick(), "send", node,
+            {"group": group, "kind": kind, "seq": seq, "payload": payload,
+             "incarnation": incarnation},
+        )
+        return self
+
+    def deliver(self, node, kind, sender, seq, payload="p", view_id=1,
+                view_members=("a", "b"), incarnation=1, group="g"):
+        self.history.append(
+            self._tick(), "deliver", node,
+            {"group": group, "kind": kind, "sender": sender, "seq": seq,
+             "payload": payload, "view_id": view_id,
+             "view_members": list(view_members), "incarnation": incarnation},
+        )
+        return self
+
+
+def test_axiom_catalogue_matches_checkers():
+    assert set(AXIOMS) == {
+        "view-monotonic", "self-delivery", "fifo-order",
+        "total-order-agreement", "total-order-prefix", "same-view-delivery",
+    }
+
+
+def test_violation_str_and_dict():
+    violation = ConformanceViolation(
+        checker="fifo-order", message="boom", node="a", events=(3, 7)
+    )
+    assert "[fifo-order]" in str(violation)
+    assert "at a" in str(violation)
+    assert violation.to_dict() == {
+        "checker": "fifo-order", "message": "boom", "node": "a",
+        "events": [3, 7],
+    }
+
+
+class TestViewMonotonic:
+    def test_increasing_views_pass(self):
+        b = HistoryBuilder()
+        b.install("a", 1, ["a"]).install("a", 2, ["a", "b"])
+        assert check_view_monotonic(b.history) == []
+
+    def test_repeated_view_flagged(self):
+        b = HistoryBuilder()
+        b.install("a", 2, ["a", "b"]).install("a", 2, ["a", "b"])
+        found = check_view_monotonic(b.history)
+        assert len(found) == 1
+        assert found[0].node == "a"
+        assert "after view 2" in found[0].message
+
+    def test_regressing_view_flagged(self):
+        b = HistoryBuilder()
+        b.install("a", 3, ["a"]).install("a", 1, ["a"])
+        assert len(check_view_monotonic(b.history)) == 1
+
+    def test_new_incarnation_restarts(self):
+        b = HistoryBuilder()
+        b.install("a", 3, ["a"], incarnation=1)
+        b.install("a", 1, ["a"], incarnation=2)  # rejoined from scratch
+        assert check_view_monotonic(b.history) == []
+
+
+class TestSelfDelivery:
+    def test_sender_delivers_its_own_fifo(self):
+        b = HistoryBuilder()
+        b.send("a", "fifo", 1).deliver("a", "fifo", "a", 1)
+        assert check_self_delivery(b.history) == []
+
+    def test_missing_self_delivery_flagged(self):
+        b = HistoryBuilder()
+        b.send("a", "fifo", 1).deliver("b", "fifo", "a", 1)
+        found = check_self_delivery(b.history)
+        assert len(found) == 1
+        assert found[0].node == "a"
+
+    def test_total_order_send_exempt(self):
+        # A sequenced-but-dropped total-order message is the documented
+        # coordinator-failover weakening, not a violation.
+        b = HistoryBuilder()
+        b.send("a", "total", None)
+        assert check_self_delivery(b.history) == []
+
+
+class TestFifoOrder:
+    def test_in_order_passes(self):
+        b = HistoryBuilder()
+        b.deliver("b", "fifo", "a", 1).deliver("b", "fifo", "a", 2)
+        assert check_fifo_order(b.history) == []
+
+    def test_duplicate_flagged(self):
+        b = HistoryBuilder()
+        b.deliver("b", "fifo", "a", 1).deliver("b", "fifo", "a", 1)
+        found = check_fifo_order(b.history)
+        assert len(found) == 1
+        assert "duplicate or reorder" in found[0].message
+
+    def test_reorder_flagged(self):
+        b = HistoryBuilder()
+        b.deliver("b", "fifo", "a", 2).deliver("b", "fifo", "a", 1)
+        assert len(check_fifo_order(b.history)) == 1
+
+    def test_rejoined_sender_resets_expectation(self):
+        b = HistoryBuilder()
+        b.deliver("b", "fifo", "a", 5)
+        b.install("b", 2, ["a", "b"], joined=("a",))
+        b.deliver("b", "fifo", "a", 1)  # fresh incarnation restarts at 1
+        assert check_fifo_order(b.history) == []
+
+    def test_independent_receivers_tracked_separately(self):
+        b = HistoryBuilder()
+        b.deliver("b", "fifo", "a", 1).deliver("c", "fifo", "a", 1)
+        assert check_fifo_order(b.history) == []
+
+
+class TestTotalOrderAgreement:
+    def test_agreeing_deliveries_pass(self):
+        b = HistoryBuilder()
+        b.deliver("a", "total", "a", 0, payload="x")
+        b.deliver("b", "total", "a", 0, payload="x")
+        assert check_total_order_agreement(b.history) == []
+
+    def test_conflicting_payload_flagged(self):
+        b = HistoryBuilder()
+        b.deliver("a", "total", "a", 0, payload="xxxxxxxx")
+        b.deliver("b", "total", "c", 0, payload="yyyyyyyy")
+        found = check_total_order_agreement(b.history)
+        assert len(found) == 1
+        assert found[0].checker == "total-order-agreement"
+
+    def test_split_brain_views_exempt(self):
+        # Same order seq, different view identity: two sequencers after a
+        # partition. Documented split-brain — not this axiom's job.
+        b = HistoryBuilder()
+        b.deliver("a", "total", "a", 0, payload="x", view_id=4,
+                  view_members=("a",))
+        b.deliver("b", "total", "b", 0, payload="y", view_id=4,
+                  view_members=("b",))
+        assert check_total_order_agreement(b.history) == []
+
+
+class TestTotalOrderPrefix:
+    def test_contiguous_seqs_pass(self):
+        b = HistoryBuilder()
+        b.install("a", 1, ["a"], order_seq=0)
+        b.deliver("a", "total", "a", 0).deliver("a", "total", "a", 1)
+        assert check_total_order_prefix(b.history) == []
+
+    def test_hole_flagged(self):
+        b = HistoryBuilder()
+        b.install("a", 1, ["a"], order_seq=0)
+        b.deliver("a", "total", "a", 0).deliver("a", "total", "a", 2)
+        found = check_total_order_prefix(b.history)
+        assert len(found) == 1
+        assert "hole or replay" in found[0].message
+
+    def test_view_install_may_advance_cursor(self):
+        # A joiner is handed the sequencer position via order_seq.
+        b = HistoryBuilder()
+        b.install("a", 1, ["a"], order_seq=0)
+        b.deliver("a", "total", "a", 0)
+        b.install("a", 2, ["a", "b"], order_seq=5)
+        b.deliver("a", "total", "b", 5)
+        assert check_total_order_prefix(b.history) == []
+
+    def test_view_install_never_regresses_cursor(self):
+        b = HistoryBuilder()
+        b.install("a", 1, ["a"], order_seq=4)
+        b.deliver("a", "total", "a", 4)
+        b.install("a", 2, ["a", "b"], order_seq=0)  # stale order_seq
+        b.deliver("a", "total", "a", 5)  # cursor stays at 5, no violation
+        assert check_total_order_prefix(b.history) == []
+
+
+class TestSameViewDelivery:
+    def test_same_view_passes(self):
+        b = HistoryBuilder()
+        b.deliver("a", "total", "a", 0, view_id=2)
+        b.deliver("b", "total", "a", 0, view_id=2)
+        assert check_same_view_delivery(b.history) == []
+
+    def test_stale_view_with_catch_up_exempt(self):
+        # In-flight view change: b delivers under view 1 but installs
+        # view 2 right after — the documented no-flush race.
+        b = HistoryBuilder()
+        b.deliver("a", "total", "a", 0, view_id=2)
+        b.deliver("b", "total", "a", 0, view_id=1, view_members=("a", "b"))
+        b.install("b", 2, ["a", "b"])
+        assert check_same_view_delivery(b.history) == []
+
+    def test_stale_view_then_silence_exempt(self):
+        # b crashed before its VIEW frame arrived; nothing more from it.
+        b = HistoryBuilder()
+        b.deliver("b", "total", "a", 0, view_id=1, view_members=("a", "b"))
+        b.deliver("a", "total", "a", 0, view_id=2)
+        assert check_same_view_delivery(b.history) == []
+
+    def test_stale_view_while_staying_active_flagged(self):
+        b = HistoryBuilder()
+        b.deliver("a", "total", "a", 0, view_id=2)
+        b.deliver("b", "total", "a", 0, view_id=1, view_members=("a", "b"))
+        b.send("b", "fifo", 1)  # stays active, never installs view 2
+        found = check_same_view_delivery(b.history)
+        assert len(found) == 1
+        assert found[0].node == "b"
+        assert "stale view 1" in found[0].message
+
+
+class TestRunAxioms:
+    def test_runs_all_by_default(self):
+        b = HistoryBuilder()
+        b.install("a", 2, ["a"]).install("a", 2, ["a"])  # view-monotonic
+        b.deliver("b", "fifo", "a", 2).deliver("b", "fifo", "a", 1)  # fifo
+        found = run_axioms(b.history)
+        assert {v.checker for v in found} == {"view-monotonic", "fifo-order"}
+
+    def test_name_selection(self):
+        b = HistoryBuilder()
+        b.install("a", 2, ["a"]).install("a", 2, ["a"])
+        assert run_axioms(b.history, names=["fifo-order"]) == []
+        assert len(run_axioms(b.history, names=["view-monotonic"])) == 1

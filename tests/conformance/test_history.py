@@ -1,0 +1,83 @@
+"""History model: determinism, canonical JSON, digests, queries."""
+
+from repro.conformance import History, payload_digest
+from repro.conformance.history import EVENT_KINDS, HistoryEvent
+
+
+def sample_history():
+    history = History()
+    history.append(0.5, "view_install", "n1", {"group": "g", "view_id": 1})
+    history.append(
+        1.0, "send", "n1", {"group": "g", "kind": "fifo", "seq": 1}
+    )
+    history.append(
+        1.2,
+        "deliver",
+        "n2",
+        {"group": "g", "kind": "fifo", "seq": 1, "sender": "n1"},
+        trace_id="t1",
+        span_id="s1",
+    )
+    return history
+
+
+class TestHistoryEvent:
+    def test_indices_are_append_order(self):
+        history = sample_history()
+        assert [e.index for e in history] == [0, 1, 2]
+
+    def test_to_dict_sorts_data_keys(self):
+        event = HistoryEvent(
+            index=0, at=1.0, kind="send", node="n1", data={"z": 1, "a": 2}
+        )
+        assert list(event.to_dict()["data"]) == ["a", "z"]
+
+    def test_span_context_only_present_when_recorded(self):
+        history = sample_history()
+        dicts = history.to_dicts()
+        assert "span_id" not in dicts[0]
+        assert dicts[2]["trace_id"] == "t1"
+        assert dicts[2]["span_id"] == "s1"
+
+    def test_event_kinds_catalogue_is_complete(self):
+        for kind in ("view_install", "send", "deliver", "op_invoke",
+                     "op_return", "migration"):
+            assert kind in EVENT_KINDS
+
+
+class TestHistory:
+    def test_of_kind_filters(self):
+        history = sample_history()
+        assert len(history.of_kind("deliver")) == 1
+        assert history.of_kind("deliver")[0].node == "n2"
+
+    def test_groups_collects_sorted_group_names(self):
+        history = sample_history()
+        history.append(2.0, "send", "n3", {"group": "a", "kind": "fifo"})
+        assert history.groups() == ["a", "g"]
+
+    def test_digest_is_stable_across_identical_builds(self):
+        assert sample_history().digest() == sample_history().digest()
+
+    def test_digest_changes_with_content(self):
+        altered = sample_history()
+        altered.append(9.0, "send", "n9", {"group": "g"})
+        assert altered.digest() != sample_history().digest()
+
+    def test_json_is_canonical(self):
+        text = sample_history().to_json()
+        # compact separators, sorted keys: no spaces after separators
+        assert ": " not in text and ", " not in text
+
+
+class TestPayloadDigest:
+    def test_deterministic(self):
+        assert payload_digest({"x": 1}) == payload_digest({"x": 1})
+
+    def test_distinguishes_values(self):
+        assert payload_digest({"x": 1}) != payload_digest({"x": 2})
+
+    def test_short_hex(self):
+        digest = payload_digest("anything")
+        assert len(digest) == 16
+        int(digest, 16)  # hex

@@ -1,0 +1,172 @@
+"""Wing–Gong linearizability checker over classic register histories."""
+
+from repro.conformance import History, check_linearizability
+from repro.conformance.linearizability import (
+    MUTATIONS,
+    Operation,
+    UNKNOWN,
+    operations_from,
+)
+
+
+class OpBuilder:
+    """Builds op_invoke/op_return histories with explicit concurrency."""
+
+    def __init__(self):
+        self.history = History()
+        self._at = 0.0
+        self._next = 0
+
+    def invoke(self, process, action, key, value=None):
+        op_id = self._next
+        self._next += 1
+        self._at += 0.1
+        self.history.append(
+            self._at, "op_invoke", process,
+            {"op": op_id, "action": action, "key": key, "value": value},
+        )
+        return op_id
+
+    def ret(self, op_id, result=None, ok=True, process="p"):
+        self._at += 0.1
+        self.history.append(
+            self._at, "op_return", process,
+            {"op": op_id, "result": result, "ok": ok},
+        )
+
+    def call(self, process, action, key, value=None, result=None, ok=True):
+        """Sequential (invoke immediately followed by return) operation."""
+        op_id = self.invoke(process, action, key, value)
+        self.ret(op_id, result=result, ok=ok, process=process)
+        return op_id
+
+
+def test_operations_from_pairs_events():
+    b = OpBuilder()
+    b.call("p1", "write", "k", value="v1")
+    pending = b.invoke("p2", "read", "k")
+    ops = operations_from(b.history)
+    assert len(ops) == 2
+    write, read = ops
+    assert write.action == "write" and write.complete and write.ok
+    assert read.op_id == pending and not read.complete
+
+
+def test_mutations_catalogue():
+    assert set(MUTATIONS) == {"write", "deploy", "remove"}
+
+
+def test_sequential_register_is_linearizable():
+    b = OpBuilder()
+    b.call("p", "write", "k", value="v1")
+    b.call("p", "read", "k", result="v1")
+    b.call("p", "write", "k", value="v2")
+    b.call("p", "read", "k", result="v2")
+    b.call("p", "remove", "k")
+    b.call("p", "read", "k", result=None)
+    assert check_linearizability(b.history) == []
+
+
+def test_stale_read_is_not_linearizable():
+    b = OpBuilder()
+    b.call("p", "write", "k", value="v1")
+    b.call("p", "write", "k", value="v2")
+    b.call("p", "read", "k", result="v1")  # sequential, so provably stale
+    found = check_linearizability(b.history)
+    assert len(found) == 1
+    assert found[0].checker == "linearizability"
+    assert "'k'" in found[0].message
+
+
+def test_unknown_initial_state_legalizes_midstream_reads():
+    # Recording started after the registry was populated: the first read
+    # observes a value no recorded write produced. UNKNOWN fixes it.
+    b = OpBuilder()
+    b.call("p", "read", "k", result="pre-existing")
+    b.call("p", "read", "k", result="pre-existing")
+    assert check_linearizability(b.history) == []
+    assert UNKNOWN not in ("pre-existing", None)
+
+
+def test_first_read_fixes_state():
+    # After UNKNOWN is fixed to "a", a later read of "b" with no
+    # intervening write cannot linearize.
+    b = OpBuilder()
+    b.call("p", "read", "k", result="a")
+    b.call("p", "read", "k", result="b")
+    assert len(check_linearizability(b.history)) == 1
+
+
+def test_concurrent_writes_allow_either_order():
+    b = OpBuilder()
+    w1 = b.invoke("p1", "write", "k", value="v1")
+    w2 = b.invoke("p2", "write", "k", value="v2")
+    b.ret(w1, process="p1")
+    b.ret(w2, process="p2")
+    b.call("p3", "read", "k", result="v1")  # w2;w1 order linearizes this
+    assert check_linearizability(b.history) == []
+
+
+def test_concurrent_read_may_see_either_side_of_write():
+    b = OpBuilder()
+    b.call("p1", "write", "k", value="old")
+    w = b.invoke("p1", "write", "k", value="new")
+    r = b.invoke("p2", "read", "k")
+    b.ret(w, process="p1")
+    b.ret(r, result="old", process="p2")  # read linearized before the write
+    assert check_linearizability(b.history) == []
+
+
+def test_pending_write_may_or_may_not_apply():
+    # The crashed writer's value showing up later is legal (it applied)...
+    b = OpBuilder()
+    b.invoke("p1", "write", "k", value="ghost")  # never returns
+    b.call("p2", "read", "k", result="ghost")
+    assert check_linearizability(b.history) == []
+    # ...and so is it never showing up at all.
+    b2 = OpBuilder()
+    b2.call("p1", "write", "k", value="v1")
+    b2.invoke("p1", "write", "k", value="ghost")
+    b2.call("p2", "read", "k", result="v1")
+    assert check_linearizability(b2.history) == []
+
+
+def test_failed_write_treated_as_uncertain():
+    b = OpBuilder()
+    b.call("p1", "write", "k", value="v1")
+    b.call("p1", "write", "k", value="v2", ok=False)  # failed: maybe applied
+    b.call("p2", "read", "k", result="v2")
+    assert check_linearizability(b.history) == []
+
+
+def test_pending_read_constrains_nothing():
+    b = OpBuilder()
+    b.call("p1", "write", "k", value="v1")
+    b.invoke("p2", "read", "k")  # never returns; dropped
+    b.call("p1", "read", "k", result="v1")
+    assert check_linearizability(b.history) == []
+
+
+def test_keys_checked_independently():
+    b = OpBuilder()
+    b.call("p", "write", "good", value="v")
+    b.call("p", "read", "good", result="v")
+    b.call("p", "write", "bad", value="v1")
+    b.call("p", "write", "bad", value="v2")
+    b.call("p", "read", "bad", result="v1")  # only this key fails
+    found = check_linearizability(b.history)
+    assert len(found) == 1
+    assert "'bad'" in found[0].message
+
+
+def test_violation_events_cover_the_key_ops():
+    b = OpBuilder()
+    b.call("p", "write", "k", value="v1")
+    b.call("p", "read", "k", result="wrong")
+    found = check_linearizability(b.history)
+    assert found and found[0].events == (0, 1, 2, 3)
+
+
+def test_operation_complete_property():
+    op = Operation(0, "p", "read", "k", None, None, False, 0, None)
+    assert not op.complete
