@@ -12,7 +12,9 @@ docs/ANALYSIS.md). With ``trace``: runs a telemetry-enabled scenario and
 exports a Chrome ``trace_event`` file (see docs/TELEMETRY.md). With
 ``conform``: runs a conformance-checked chaos campaign (virtual-synchrony
 axioms + registry linearizability) and emits a deterministic JSON verdict
-(see docs/CONFORMANCE.md).
+(see docs/CONFORMANCE.md). With ``rollout``: runs one staged
+canary rollout under a pinned fault scenario and emits a deterministic
+JSON verdict (see docs/ROLLOUT.md).
 """
 
 from __future__ import annotations
@@ -46,6 +48,10 @@ def main(argv=None) -> int:
         from repro.conformance.cli import conform_main
 
         return conform_main(argv[1:])
+    if argv and argv[0] == "rollout":
+        from repro.rollout.cli import rollout_main
+
+        return rollout_main(argv[1:])
     if argv and argv[0] == "demo":
         argv = argv[1:]
     return demo_main(argv)

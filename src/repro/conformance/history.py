@@ -28,6 +28,15 @@ Event kinds and their ``data`` fields:
 ``migration``
     ``event ("failover"|"activation"|"deploy"), instance, from_node,
     to_node, reason, warm, downtime`` — instance movement milestones.
+``rollout``
+    ``phase ("start"|"drain-begin"|...|"final"), instance, from_version,
+    to_version`` plus phase-specific extras — staged-upgrade milestones
+    recorded by the :mod:`repro.rollout` engine (docs/ROLLOUT.md).
+``request_drop``
+    ``reason, endpoint, request_id`` — one virtual-service request was
+    dropped (``node`` is the real server that lost it, or ``""`` when it
+    never reached one). Audited against rollout upgrade windows by the
+    no-dropped-request checker.
 
 Payloads are stored as short digests (:func:`payload_digest`), not
 values: checkers only ever need equality, and digests keep the history —
@@ -53,6 +62,8 @@ EVENT_KINDS = (
     "op_invoke",
     "op_return",
     "migration",
+    "rollout",
+    "request_drop",
 )
 
 

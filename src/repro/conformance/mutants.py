@@ -34,6 +34,9 @@ The catalogue (mutation -> axiom that must catch it):
                          in a stale view → ``same-view-delivery``
 ``stale_directory_reads`` CustomerDirectory.get returns the first value
                          it ever saw for a key → ``linearizability``
+``skip_drain``           the rollout engine takes a replica down without
+                         draining it first (in-flight requests die) →
+                         ``rollout-no-dropped-request``
 =====================  ==============================================
 """
 
@@ -51,6 +54,7 @@ MUTANT_NAMES = (
     "accept_stale_views",
     "skip_view_install",
     "stale_directory_reads",
+    "skip_drain",
 )
 
 #: mutation name -> endpoint scope (None = every endpoint). Empty when no

@@ -198,6 +198,36 @@ class HistoryRecorder:
             },
         )
 
+    # ------------------------------------------------------------------
+    # Rollout milestones (repro.rollout.engine) and request drops (ipvs)
+    # ------------------------------------------------------------------
+    def rollout_event(
+        self,
+        node: str,
+        phase: str,
+        instance: str = "",
+        from_version: str = "",
+        to_version: str = "",
+        **extra: Any,
+    ) -> None:
+        data: Dict[str, Any] = {
+            "phase": phase,
+            "instance": instance,
+            "from_version": from_version,
+            "to_version": to_version,
+        }
+        data.update(extra)
+        self._append("rollout", node, data)
+
+    def request_drop(
+        self, node: str, reason: str, endpoint: str, request_id: int
+    ) -> None:
+        self._append(
+            "request_drop",
+            node,
+            {"reason": reason, "endpoint": endpoint, "request_id": request_id},
+        )
+
     def __repr__(self) -> str:
         return "HistoryRecorder(%d events, %d open ops)" % (
             len(self.history),

@@ -22,6 +22,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.conformance.axioms import AXIOMS, ConformanceViolation, run_axioms
 from repro.conformance.history import History
 from repro.conformance.linearizability import check_linearizability
+from repro.conformance.rollout_checks import (
+    check_rollout_no_dropped_request,
+    check_rollout_version_monotonic,
+)
 from repro.conformance.runtime import recording
 from repro.faults.campaign import replay_schedule
 from repro.faults.invariants import InvariantRegistry, Violation
@@ -29,13 +33,19 @@ from repro.faults.schedule import FaultSchedule
 from repro.faults.trace import FaultTrace
 
 #: Every checker, in reporting order.
-CHECKER_NAMES: Tuple[str, ...] = tuple(AXIOMS) + ("linearizability",)
+CHECKER_NAMES: Tuple[str, ...] = tuple(AXIOMS) + (
+    "linearizability",
+    "rollout-no-dropped-request",
+    "rollout-version-monotonic",
+)
 
 
 def check_history(history: History) -> List[ConformanceViolation]:
-    """All virtual-synchrony axioms + per-key linearizability."""
+    """Axioms + linearizability + rollout checks (no-ops without rollouts)."""
     violations = run_axioms(history)
     violations.extend(check_linearizability(history))
+    violations.extend(check_rollout_no_dropped_request(history))
+    violations.extend(check_rollout_version_monotonic(history))
     return violations
 
 

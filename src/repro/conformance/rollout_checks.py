@@ -1,0 +1,206 @@
+"""Rollout checkers: upgrade-time safety over recorded histories.
+
+The staged-rollout engine (:mod:`repro.rollout`) promises two things a
+chaos-during-upgrade campaign must be able to falsify offline:
+
+``rollout-no-dropped-request``
+    The engine drains a node (weight -> 0, then waits for in-flight
+    requests to finish) **before** taking its replica down for the bundle
+    swap. A correct rollout therefore never *causes* a dropped request:
+    during each node's upgrade window — from the ``upgrade-begin`` rollout
+    event until that node's next ``undrain`` (or the end of the history
+    if it never comes back) — no ``request_drop`` event may be attributed
+    to the node. Drops outside any window, or with no real-server node at
+    all (``node == ""``: director failover, partition, no-service), are
+    injected-fault collateral and exempt; the checker judges only what the
+    rollout itself did. Catches the ``skip_drain`` mutant.
+
+``rollout-version-monotonic``
+    Versions move only along the two legal edges — pinned -> target
+    (upgrade) and target -> pinned (rollback) — each instance moves
+    forward at most once between rollbacks, and the rollout terminates in
+    a uniform-version steady state that matches its declared outcome:
+    every instance at the target version after ``completed``, every
+    instance back at the pinned version after ``rolled-back``. A history
+    whose rollout never reaches a ``final`` event, or whose final version
+    map is mixed, is a violation — "never a mixed-version steady state".
+
+Both checkers are single passes over one
+:class:`~repro.conformance.history.History` and return ``[]`` for
+histories that contain no rollout events, so they are safe to run
+unconditionally from :func:`repro.conformance.report.check_history`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.conformance.axioms import ConformanceViolation
+from repro.conformance.history import History
+
+__all__ = [
+    "check_rollout_no_dropped_request",
+    "check_rollout_version_monotonic",
+]
+
+
+def _upgrade_windows(
+    history: History,
+) -> Dict[str, List[Tuple[int, Optional[int]]]]:
+    """Per node: [start_index, end_index) spans where its replica is down.
+
+    A window opens at ``upgrade-begin`` (the engine is about to take the
+    replica down) and closes at that node's next ``undrain`` (traffic
+    restored). ``None`` means the window never closed.
+    """
+    windows: Dict[str, List[Tuple[int, Optional[int]]]] = {}
+    open_at: Dict[str, int] = {}
+    for event in history.of_kind("rollout"):
+        phase = event.data.get("phase")
+        node = event.node
+        if phase == "upgrade-begin":
+            open_at.setdefault(node, event.index)
+        elif phase == "undrain" and node in open_at:
+            windows.setdefault(node, []).append(
+                (open_at.pop(node), event.index)
+            )
+    for node, start in sorted(open_at.items()):
+        windows.setdefault(node, []).append((start, None))
+    return windows
+
+
+def check_rollout_no_dropped_request(
+    history: History,
+) -> List[ConformanceViolation]:
+    """No request drop attributable to a node while the rollout holds it."""
+    if not history.of_kind("rollout"):
+        return []
+    windows = _upgrade_windows(history)
+    violations: List[ConformanceViolation] = []
+    for event in history.of_kind("request_drop"):
+        node = event.node
+        if not node or node not in windows:
+            continue
+        for start, end in windows[node]:
+            if start <= event.index and (end is None or event.index < end):
+                violations.append(
+                    ConformanceViolation(
+                        checker="rollout-no-dropped-request",
+                        message=(
+                            "request %s dropped (%s) inside %s's upgrade "
+                            "window — the rollout took the replica down "
+                            "without draining it"
+                            % (
+                                event.data.get("request_id"),
+                                event.data.get("reason"),
+                                node,
+                            )
+                        ),
+                        node=node,
+                        events=(start, event.index),
+                    )
+                )
+                break
+    return violations
+
+
+def check_rollout_version_monotonic(
+    history: History,
+) -> List[ConformanceViolation]:
+    """Version moves only pinned->target / target->pinned; ends uniform."""
+    rollout_events = history.of_kind("rollout")
+    if not rollout_events:
+        return []
+    violations: List[ConformanceViolation] = []
+    start = next(
+        (e for e in rollout_events if e.data.get("phase") == "start"), None
+    )
+    if start is None:
+        return [
+            ConformanceViolation(
+                checker="rollout-version-monotonic",
+                message="rollout history has no 'start' event",
+                events=(rollout_events[0].index,),
+            )
+        ]
+    pinned = start.data["from_version"]
+    target = start.data["to_version"]
+    legal = {(pinned, target), (target, pinned)}
+    #: instance -> (version we believe it runs, index of the evidence).
+    current: Dict[str, Tuple[str, int]] = {
+        name: (pinned, start.index) for name in start.data.get("fleet", [])
+    }
+    final = None
+    for event in rollout_events:
+        phase = event.data.get("phase")
+        if phase == "final":
+            final = event
+            continue
+        if phase != "upgrade-complete":
+            continue
+        instance = event.data["instance"]
+        edge = (event.data["from_version"], event.data["to_version"])
+        if edge not in legal:
+            violations.append(
+                ConformanceViolation(
+                    checker="rollout-version-monotonic",
+                    message="illegal version edge %s -> %s on %r "
+                    "(pinned %s, target %s)"
+                    % (edge[0], edge[1], instance, pinned, target),
+                    node=event.node,
+                    events=(event.index,),
+                )
+            )
+            continue
+        known = current.get(instance)
+        if known is not None and known[0] != edge[0]:
+            violations.append(
+                ConformanceViolation(
+                    checker="rollout-version-monotonic",
+                    message="%r moved %s -> %s but was already at %s "
+                    "(upgraded twice without a rollback?)"
+                    % (instance, edge[0], edge[1], known[0]),
+                    node=event.node,
+                    events=(known[1], event.index),
+                )
+            )
+        current[instance] = (edge[1], event.index)
+    if final is None:
+        violations.append(
+            ConformanceViolation(
+                checker="rollout-version-monotonic",
+                message="rollout never reached a 'final' event "
+                "(no terminal steady state)",
+                events=(start.index,),
+            )
+        )
+        return violations
+    outcome = final.data.get("outcome", "")
+    versions: Dict[str, str] = final.data.get("versions", {})
+    distinct = sorted(set(versions.values()))
+    if len(distinct) > 1:
+        violations.append(
+            ConformanceViolation(
+                checker="rollout-version-monotonic",
+                message="mixed-version steady state: %s"
+                % ", ".join(
+                    "%s=%s" % (k, versions[k]) for k in sorted(versions)
+                ),
+                events=(final.index,),
+            )
+        )
+    expected = {"completed": target, "rolled-back": pinned}.get(outcome)
+    if expected is not None:
+        astray = sorted(
+            name for name, v in versions.items() if v != expected
+        )
+        if astray:
+            violations.append(
+                ConformanceViolation(
+                    checker="rollout-version-monotonic",
+                    message="outcome %r but %s not at version %s"
+                    % (outcome, ", ".join(astray), expected),
+                    events=(final.index,),
+                )
+            )
+    return violations

@@ -374,6 +374,32 @@ class DependableEnvironment:
         )
         self._customers[customer].endpoints[endpoint] = (service_time, weight)
 
+    def join_service(
+        self,
+        customer: str,
+        endpoint: IpEndpoint,
+        service_time: float = 0.01,
+        weight: int = 1,
+    ) -> None:
+        """Add another customer's replica behind an already-exposed endpoint.
+
+        ``expose_service`` creates the virtual service and its first real
+        server; fleets (several customers answering one VIP, the staged-
+        rollout deployment shape) join the same endpoint with this method.
+        Each replica keeps following *its own* customer across migrations.
+        """
+        host = self.locate(customer)
+        if host is None:
+            raise ValueError("customer %r is not running anywhere" % customer)
+        self.director.add_real_server(
+            endpoint,
+            host,
+            weight=weight,
+            service_time=service_time,
+            on_served=self._meter_request(customer, service_time),
+        )
+        self._customers[customer].endpoints[endpoint] = (service_time, weight)
+
     def _meter_request(self, customer: str, service_time: float):
         """Charge each served request's CPU to the hosting instance, so
         network traffic shows up in the Monitoring Module and SLAs."""

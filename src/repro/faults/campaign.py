@@ -177,6 +177,10 @@ class Episode:
     history: Optional[Any] = None
     #: Digest of the recorded history ("" when recording was off).
     history_digest: str = ""
+    #: Staged-rollout summary (upgrade campaigns only) — the scenario's
+    #: ``env.rollout_engine`` report, or ``{"outcome": "incomplete"}``
+    #: when the episode ended before the engine finalised.
+    rollout: Optional[Any] = None
 
     @property
     def ok(self) -> bool:
@@ -324,9 +328,28 @@ class ChaosCampaign:
         repair_failed: bool = True,
         telemetry: bool = False,
         conformance: bool = False,
+        upgrade: bool = False,
     ) -> None:
         if episodes < 1:
             raise ValueError("need at least one episode")
+        if upgrade:
+            # Upgrade mode: every episode runs a staged rollout under
+            # fire. The rollout scenario replaces the default one, the
+            # fault schedules aim at the rollout window, and telemetry +
+            # conformance turn on (gates need metrics; the rollout
+            # checkers need a history). Explicit overrides still win.
+            from repro.rollout.scenario import (
+                chaos_upgrade_scenario,
+                upgrade_schedule_factory,
+            )
+
+            if scenario_factory is default_scenario:
+                scenario_factory = chaos_upgrade_scenario
+            if schedule_factory is None:
+                schedule_factory = upgrade_schedule_factory
+            telemetry = True
+            conformance = True
+        self.upgrade = upgrade
         self.scenario_factory = scenario_factory
         self.seed = seed
         self.episodes = episodes
@@ -433,6 +456,15 @@ class ChaosCampaign:
                     if record.reason == "failure" and record.downtime is not None:
                         failover_seconds.append(record.downtime)
             spans = telemetry_handle.export_spans()
+        rollout_summary: Optional[Any] = None
+        engine = getattr(env, "rollout_engine", None)
+        if engine is not None:
+            report = engine.report
+            rollout_summary = (
+                report.summary()
+                if report is not None
+                else {"outcome": "incomplete"}
+            )
         checks = max(
             1, int(self.episode_duration / self.check_interval)
         )  # informational; exact count lives on the checker
@@ -450,6 +482,7 @@ class ChaosCampaign:
             conformance=conformance_violations,
             history=history,
             history_digest=history_digest,
+            rollout=rollout_summary,
         )
 
     # ------------------------------------------------------------------

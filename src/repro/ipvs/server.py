@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.node import Node, NodeState
+from repro.conformance import runtime as _crt
 from repro.ipvs.addressing import IpEndpoint
 from repro.ipvs.schedulers import RoundRobinScheduler, Scheduler
 from repro.sim.eventloop import EventLoop
@@ -67,6 +68,22 @@ def _finish_request_telemetry(
     if _rt.ACTIVE is not None and request.latency is not None:
         _rt.ACTIVE.metrics.histogram("ipvs.request_latency_seconds").observe(
             request.latency
+        )
+
+
+def _record_drop(request: Request, node: str) -> None:
+    """Conformance tap: one event per dropped request, at drop time.
+
+    The rollout no-dropped-request checker audits these against upgrade
+    windows (docs/ROLLOUT.md); with recording off this is the usual
+    one-load-and-compare guard.
+    """
+    if _crt.ACTIVE is not None and request.dropped is not None:
+        _crt.ACTIVE.request_drop(
+            node=node,
+            reason=request.dropped,
+            endpoint=str(request.endpoint),
+            request_id=request.request_id,
         )
 
 
@@ -121,6 +138,7 @@ class RealServer:
             self.active_connections -= 1
             if not self.alive:
                 request.dropped = "server-died"
+                _record_drop(request, self.node_id)
                 _finish_request_telemetry(request, serve_span, loop)
                 return
             self.served += 1
@@ -222,6 +240,40 @@ class VirtualServer:
                     touched += 1
         return touched
 
+    def set_node_weight(self, node_id: str, weight: int) -> int:
+        """Set the scheduling weight of every real server on ``node_id``.
+
+        Weight 0 is the LVS drain idiom: the server stays configured and
+        finishes its in-flight connections, but the scheduler stops
+        sending it new ones (``ipvsadm --edit-server --weight 0``).
+        """
+        touched = 0
+        for _, servers in self._services.values():
+            for server in servers:
+                if server.node_id == node_id:
+                    server.weight = weight
+                    touched += 1
+        return touched
+
+    def set_node_service_time(self, node_id: str, service_time: float) -> int:
+        """Re-profile every real server on ``node_id`` (release change)."""
+        touched = 0
+        for _, servers in self._services.values():
+            for server in servers:
+                if server.node_id == node_id:
+                    server.service_time = service_time
+                    touched += 1
+        return touched
+
+    def node_active_connections(self, node_id: str) -> int:
+        """In-flight requests across every real server on ``node_id``."""
+        active = 0
+        for _, servers in self._services.values():
+            for server in servers:
+                if server.node_id == node_id:
+                    active += server.active_connections
+        return active
+
     # -- routing -----------------------------------------------------------
     def route(self, request: Request) -> None:
         if not self.alive:
@@ -312,6 +364,8 @@ class DirectorCluster:
         self._takeover_ready_at = 0.0
         self.requests: List[Request] = []
         self._next_request_id = 1
+        #: node_id -> pre-drain weight (see :meth:`drain_node`).
+        self._drained_weights: Dict[str, int] = {}
 
     # -- configuration fan-out ---------------------------------------------
     def add_service(
@@ -356,6 +410,47 @@ class DirectorCluster:
     def mark_node(self, node_id: str, alive: bool) -> None:
         for director in self.directors:
             director.mark_node(node_id, alive)
+
+    # -- draining (rolling upgrades) ------------------------------------------
+    def drain_node(self, node_id: str) -> None:
+        """Stop scheduling new requests onto ``node_id`` (weight -> 0).
+
+        In-flight requests keep running; pair with
+        :meth:`node_active_connections` to wait for them, then
+        :meth:`undrain_node` to restore the remembered weights.
+        """
+        if node_id not in self._drained_weights:
+            # Weights are uniform per node (configuration fans out to every
+            # replica identically), so one remembered value suffices.
+            weight = 1
+            for director in self.directors:
+                for _endpoint, server in director.all_real_servers():
+                    if server.node_id == node_id:
+                        weight = server.weight
+                        break
+            self._drained_weights[node_id] = weight
+        for director in self.directors:
+            director.set_node_weight(node_id, 0)
+
+    def undrain_node(self, node_id: str) -> None:
+        """Restore the weight remembered by :meth:`drain_node`."""
+        weight = self._drained_weights.pop(node_id, 1)
+        for director in self.directors:
+            director.set_node_weight(node_id, max(1, weight))
+
+    def is_draining(self, node_id: str) -> bool:
+        return node_id in self._drained_weights
+
+    def node_active_connections(self, node_id: str) -> int:
+        """In-flight requests to ``node_id``, across every replica."""
+        return sum(
+            d.node_active_connections(node_id) for d in self.directors
+        )
+
+    def set_node_service_time(self, node_id: str, service_time: float) -> None:
+        """Re-profile ``node_id``'s real servers (new release behaviour)."""
+        for director in self.directors:
+            director.set_node_service_time(node_id, service_time)
 
     def all_real_servers(self) -> List[Tuple[IpEndpoint, RealServer]]:
         """Union of every replica's (endpoint, real server) pairs."""
@@ -426,6 +521,7 @@ class DirectorCluster:
 
     def _finish_dropped(self, request: Request) -> None:
         """Close out telemetry for a request dropped before service."""
+        _record_drop(request, "")
         telemetry = _rt.ACTIVE
         if telemetry is None:
             return

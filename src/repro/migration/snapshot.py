@@ -1,0 +1,78 @@
+"""Pinned-version snapshots: the state a rollback restores.
+
+Before a staged rollout (:mod:`repro.rollout`) touches an instance, it
+pins what the instance runs *right now*: every bundle's symbolic name,
+version, SAN location and live definition. The snapshot is the rollback
+contract — if any health gate trips mid-rollout, every touched instance
+is restored to exactly its pinned definitions, and
+:func:`republish_pinned` pushes those definitions back to the shared
+repository so that even an instance the engine cannot reach live (its
+node crashed mid-wave) converges to the pinned version the next time the
+Migration Module redeploys it from the SAN.
+
+The snapshot is pure data: taking one schedules nothing and draws no
+randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.osgi.definition import BundleDefinition
+
+__all__ = ["PinnedBundle", "PinnedSnapshot", "pin_instance", "republish_pinned"]
+
+
+@dataclass(frozen=True)
+class PinnedBundle:
+    """One bundle's identity at pin time."""
+
+    symbolic_name: str
+    version: str
+    location: str
+    definition: BundleDefinition
+
+
+@dataclass(frozen=True)
+class PinnedSnapshot:
+    """Everything one instance ran when the rollout started."""
+
+    instance: str
+    node: str
+    bundles: Tuple[PinnedBundle, ...]
+
+    def bundle(self, symbolic_name: str) -> Optional[PinnedBundle]:
+        for pinned in self.bundles:
+            if pinned.symbolic_name == symbolic_name:
+                return pinned
+        return None
+
+    def versions(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple((b.symbolic_name, b.version) for b in self.bundles)
+
+
+def pin_instance(instance: Any, node: str) -> PinnedSnapshot:
+    """Snapshot a live :class:`~repro.vosgi.instance.VirtualInstance`."""
+    bundles = tuple(
+        PinnedBundle(
+            symbolic_name=bundle.symbolic_name,
+            version=str(bundle.version),
+            location=bundle.location,
+            definition=bundle.definition,
+        )
+        for bundle in sorted(
+            instance.bundles(), key=lambda b: b.symbolic_name
+        )
+    )
+    return PinnedSnapshot(instance=instance.name, node=node, bundles=bundles)
+
+
+def republish_pinned(snapshot: PinnedSnapshot, repository: Any) -> None:
+    """Point the SAN back at the pinned definitions.
+
+    After this, any failure-driven redeployment of the instance restores
+    the pinned versions — the off-line half of a rollback.
+    """
+    for pinned in snapshot.bundles:
+        repository.put_definition(pinned.location, pinned.definition)

@@ -1,0 +1,25 @@
+"""Staged rollouts: canary, health gates, waves, SLA-guarded rollback.
+
+The first subsystem that composes the whole platform in one closed
+loop: versioned bundle releases (:mod:`repro.rollout.release`) deploy
+through the Migration Module's machinery, traffic shifts through
+:mod:`repro.ipvs` drains, health gates read :mod:`repro.telemetry`
+metrics, chaos campaigns (:mod:`repro.faults`) attack the rollout
+mid-flight, and :mod:`repro.conformance` judges the recorded history
+offline. See docs/ROLLOUT.md.
+"""
+
+from repro.rollout.engine import RolloutConfig, RolloutEngine, RolloutReport
+from repro.rollout.planner import WavePlan, plan_waves, simulate_plan
+from repro.rollout.release import BundleRelease, make_release
+
+__all__ = [
+    "BundleRelease",
+    "RolloutConfig",
+    "RolloutEngine",
+    "RolloutReport",
+    "WavePlan",
+    "make_release",
+    "plan_waves",
+    "simulate_plan",
+]

@@ -1,0 +1,87 @@
+"""Wave planning: who upgrades when, as pure data.
+
+:func:`plan_waves` turns a fleet into an ordered sequence of waves —
+first the canary wave, then fixed-size waves over the remainder — with
+deterministic (sorted) member order so two same-seed runs plan
+identically. :func:`simulate_plan` is the engine's pure state-machine
+model: it applies a plan step by step and (optionally) trips a gate
+after the N-th upgrade, returning the version map the real engine must
+converge to. The Hypothesis property test drives this model over random
+fleets and trip points; the chaos matrix then checks the real engine
+against the same end states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["WavePlan", "plan_waves", "simulate_plan"]
+
+
+@dataclass(frozen=True)
+class WavePlan:
+    """Ordered upgrade waves; ``waves[0]`` is the canary wave."""
+
+    waves: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        return tuple(name for wave in self.waves for name in wave)
+
+    def __len__(self) -> int:
+        return len(self.waves)
+
+
+def plan_waves(
+    fleet: Sequence[str], canaries: int = 1, wave_size: int = 2
+) -> WavePlan:
+    """Split ``fleet`` into a canary wave plus fixed-size waves.
+
+    Members are deduplicated and sorted, so the plan depends only on the
+    fleet's *set* of names. ``canaries`` is clamped to the fleet size.
+    """
+    if canaries < 1:
+        raise ValueError("need at least one canary")
+    if wave_size < 1:
+        raise ValueError("wave_size must be >= 1")
+    members = sorted(set(fleet))
+    if not members:
+        raise ValueError("empty fleet")
+    canaries = min(canaries, len(members))
+    waves: List[Tuple[str, ...]] = [tuple(members[:canaries])]
+    rest = members[canaries:]
+    for start in range(0, len(rest), wave_size):
+        waves.append(tuple(rest[start : start + wave_size]))
+    return WavePlan(waves=tuple(waves))
+
+
+def simulate_plan(
+    plan: WavePlan,
+    pinned: str,
+    target: str,
+    trip_after: Optional[int] = None,
+) -> Tuple[Dict[str, str], Dict[str, int]]:
+    """Pure model of the engine: final versions + per-member upgrade counts.
+
+    Upgrades members in plan order; when ``trip_after`` is given, a gate
+    trips after that many upgrades have committed and every touched
+    member rolls back to ``pinned``. Returns ``(final_versions,
+    upgrade_counts)`` where counts include only *forward* upgrades.
+    """
+    versions = {name: pinned for name in plan.members}
+    counts = {name: 0 for name in plan.members}
+    touched: List[str] = []
+    for name in plan.members:
+        if trip_after is not None and len(touched) >= trip_after:
+            for rolled in reversed(touched):
+                versions[rolled] = pinned
+            return versions, counts
+        versions[name] = target
+        counts[name] += 1
+        touched.append(name)
+    if trip_after is not None and trip_after >= len(touched):
+        # The gate evaluation after the final wave can still trip.
+        for rolled in reversed(touched):
+            versions[rolled] = pinned
+    return versions, counts

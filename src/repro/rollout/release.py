@@ -1,0 +1,64 @@
+"""Version-pinned bundle releases: what a staged rollout ships.
+
+A :class:`BundleRelease` names one symbolic bundle, the version being
+rolled out, and the runtime profile the new version exhibits (its ipvs
+service time — how the release's behaviour becomes *observable* to the
+health gates). :meth:`BundleRelease.definition` materialises a fresh
+:class:`~repro.osgi.definition.BundleDefinition` per call so two
+instances never share activator state, mirroring how a real archive is
+unpacked per framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.osgi.definition import BundleDefinition, simple_bundle
+
+__all__ = ["BundleRelease", "make_release"]
+
+
+@dataclass(frozen=True)
+class BundleRelease:
+    """One shippable (symbolic name, version) with its runtime profile."""
+
+    symbolic_name: str
+    version: str
+    #: Per-request service time the version exhibits behind the VIP. A
+    #: regressed release has a larger value — that is what the latency
+    #: gate sees during the soak window.
+    service_time: float = 0.02
+    size_bytes: int = 64 * 1024
+
+    def definition(self) -> BundleDefinition:
+        """A fresh installable definition of this release."""
+        package = "%s.impl" % self.symbolic_name
+        return simple_bundle(
+            self.symbolic_name,
+            version=self.version,
+            packages={
+                package: {
+                    "VERSION": self.version,
+                    "SERVICE_TIME": self.service_time,
+                }
+            },
+            size_bytes=self.size_bytes,
+        )
+
+    def __str__(self) -> str:
+        return "%s@%s" % (self.symbolic_name, self.version)
+
+
+def make_release(
+    symbolic_name: str = "fleet.app",
+    version: str = "2.0.0",
+    service_time: float = 0.02,
+    size_bytes: int = 64 * 1024,
+) -> BundleRelease:
+    """Convenience builder (tests, scenarios, CLI)."""
+    return BundleRelease(
+        symbolic_name=symbolic_name,
+        version=version,
+        service_time=service_time,
+        size_bytes=size_bytes,
+    )

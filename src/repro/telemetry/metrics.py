@@ -200,6 +200,23 @@ class MetricsRegistry:
         self._histograms.pop(key, None)
 
     # ------------------------------------------------------------------
+    def counters_named(self, name: str) -> List[Counter]:
+        """Every counter with ``name``, across label sets, label-sorted."""
+        return [
+            counter
+            for (key_name, _labels), counter in sorted(self._counters.items())
+            if key_name == name
+        ]
+
+    def histograms_named(self, name: str) -> List[Histogram]:
+        """Every histogram with ``name``, across label sets, label-sorted."""
+        return [
+            histogram
+            for (key_name, _labels), histogram in sorted(self._histograms.items())
+            if key_name == name
+        ]
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Every instrument's current reading, sorted and JSON-ready."""
         counters = {

@@ -134,8 +134,12 @@ class TestReplayAndCheck:
 
 class TestVerdictDocument:
     def test_checker_catalogue(self):
-        assert CHECKER_NAMES[-1] == "linearizability"
-        assert len(CHECKER_NAMES) == 7
+        assert CHECKER_NAMES[-3] == "linearizability"
+        assert CHECKER_NAMES[-2:] == (
+            "rollout-no-dropped-request",
+            "rollout-version-monotonic",
+        )
+        assert len(CHECKER_NAMES) == 9
 
     def test_document_shape_and_self_digest(self):
         result = small_campaign().run()

@@ -76,6 +76,7 @@ class TestMutantRegistry:
             "accept_stale_views",
             "skip_view_install",
             "stale_directory_reads",
+            "skip_drain",
         )
 
     def test_enable_unknown_name_rejected(self):
@@ -207,6 +208,41 @@ class TestRegistryMutant:
             directory.put(CustomerDescriptor(name="acme", priority=2))
             assert directory.get("acme").priority == 2
         assert check_history(recorder.history) == []
+
+
+class TestRolloutMutant:
+    """skip_drain: the engine kills a node with requests still in flight."""
+
+    def _run_rollout(self, mutate, seed=11):
+        from repro.rollout.scenario import rollout_scenario
+
+        # A dense pump guarantees in-flight requests at the moment the
+        # mutated engine takes a node down without draining it first.
+        env = rollout_scenario(seed, pump_interval=0.005)
+        with recording(env.loop.clock) as recorder:
+            if mutate:
+                with protocol_mutation("skip_drain"):
+                    env.run_for(15.0)
+            else:
+                env.run_for(15.0)
+        assert env.rollout_engine.report is not None
+        return env, recorder
+
+    def test_skip_drain_caught_by_no_dropped_request(self):
+        env, recorder = self._run_rollout(mutate=True)
+        hit = {v.checker for v in check_history(recorder.history)}
+        assert hit == {"rollout-no-dropped-request"}
+
+    def test_rollout_clean_without_mutant(self):
+        # The dense pump overloads the fleet's cpu share, so the engine
+        # may (correctly) roll back when SLA enforcement relocates a
+        # member mid-swap — but with drains intact, no checker fires and
+        # the fleet still ends in a safe uniform-version state.
+        env, recorder = self._run_rollout(mutate=False)
+        assert check_history(recorder.history) == []
+        report = env.rollout_engine.report
+        assert report.outcome in ("completed", "rolled-back")
+        assert not report.mixed_version
 
 
 def test_every_mutant_has_a_matrix_test():

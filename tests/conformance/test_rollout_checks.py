@@ -1,0 +1,185 @@
+"""Unit tests for the rollout checkers, on hand-built histories.
+
+The live engine is exercised elsewhere (tests/rollout); here each
+checker clause is pinned down with minimal synthetic histories so a
+future refactor cannot silently weaken a clause.
+"""
+
+from repro.conformance.history import History
+from repro.conformance.rollout_checks import (
+    check_rollout_no_dropped_request,
+    check_rollout_version_monotonic,
+)
+
+PINNED = "1.0.0"
+TARGET = "2.0.0"
+
+
+def build(events):
+    """events: (kind, node, data) triples appended at 1-second strides."""
+    history = History()
+    for i, (kind, node, data) in enumerate(events):
+        history.append(float(i), kind, node, data)
+    return history
+
+
+def rollout(phase, node="n1", instance="svc-1", frm=PINNED, to=TARGET, **extra):
+    data = {
+        "phase": phase,
+        "instance": instance,
+        "from_version": frm,
+        "to_version": to,
+    }
+    data.update(extra)
+    return ("rollout", node, data)
+
+
+def drop(node, request_id=1):
+    return (
+        "request_drop",
+        node,
+        {"reason": "server-died", "endpoint": "vip:80", "request_id": request_id},
+    )
+
+
+def start(fleet=("svc-1",)):
+    return rollout("start", instance="", fleet=list(fleet))
+
+
+def final(outcome="completed", versions=None):
+    return rollout(
+        "final",
+        instance="",
+        outcome=outcome,
+        versions=versions if versions is not None else {"svc-1": TARGET},
+    )
+
+
+CLEAN_RUN = [
+    start(),
+    rollout("drain-begin"),
+    rollout("drain-complete"),
+    rollout("upgrade-begin"),
+    rollout("upgrade-complete"),
+    rollout("undrain"),
+    final(),
+]
+
+
+class TestNoDroppedRequest:
+    def test_empty_and_rollout_free_histories_pass(self):
+        assert check_rollout_no_dropped_request(History()) == []
+        assert check_rollout_no_dropped_request(build([drop("n1")])) == []
+
+    def test_clean_run_passes(self):
+        assert check_rollout_no_dropped_request(build(CLEAN_RUN)) == []
+
+    def test_drop_inside_window_flagged(self):
+        history = build(
+            [
+                start(),
+                rollout("upgrade-begin"),
+                drop("n1"),
+                rollout("undrain"),
+                final(),
+            ]
+        )
+        (violation,) = check_rollout_no_dropped_request(history)
+        assert violation.checker == "rollout-no-dropped-request"
+        assert violation.node == "n1"
+
+    def test_window_stays_open_without_undrain(self):
+        history = build([start(), rollout("upgrade-begin"), drop("n1")])
+        assert len(check_rollout_no_dropped_request(history)) == 1
+
+    def test_drop_before_window_exempt(self):
+        history = build(
+            [start(), drop("n1"), rollout("upgrade-begin"), rollout("undrain")]
+        )
+        assert check_rollout_no_dropped_request(history) == []
+
+    def test_drop_after_undrain_exempt(self):
+        history = build(
+            [start(), rollout("upgrade-begin"), rollout("undrain"), drop("n1")]
+        )
+        assert check_rollout_no_dropped_request(history) == []
+
+    def test_drop_on_other_node_exempt(self):
+        history = build([start(), rollout("upgrade-begin"), drop("n2")])
+        assert check_rollout_no_dropped_request(history) == []
+
+    def test_unattributed_drop_exempt(self):
+        # node == "": the request never reached a real server (director
+        # down, partition) — chaos collateral, not the rollout's doing.
+        history = build([start(), rollout("upgrade-begin"), drop("")])
+        assert check_rollout_no_dropped_request(history) == []
+
+
+class TestVersionMonotonic:
+    def test_empty_history_passes(self):
+        assert check_rollout_version_monotonic(History()) == []
+
+    def test_clean_run_passes(self):
+        assert check_rollout_version_monotonic(build(CLEAN_RUN)) == []
+
+    def test_missing_start_flagged(self):
+        history = build([rollout("upgrade-begin")])
+        (violation,) = check_rollout_version_monotonic(history)
+        assert "no 'start'" in violation.message
+
+    def test_missing_final_flagged(self):
+        history = build([start(), rollout("upgrade-complete")])
+        violations = check_rollout_version_monotonic(history)
+        assert any("final" in v.message for v in violations)
+
+    def test_illegal_edge_flagged(self):
+        history = build(
+            [start(), rollout("upgrade-complete", to="3.0.0"), final()]
+        )
+        violations = check_rollout_version_monotonic(history)
+        assert any("illegal version edge" in v.message for v in violations)
+
+    def test_rollback_edge_is_legal(self):
+        history = build(
+            [
+                start(),
+                rollout("upgrade-complete"),
+                rollout("upgrade-complete", frm=TARGET, to=PINNED),
+                final(outcome="rolled-back", versions={"svc-1": PINNED}),
+            ]
+        )
+        assert check_rollout_version_monotonic(history) == []
+
+    def test_double_upgrade_flagged(self):
+        history = build(
+            [
+                start(),
+                rollout("upgrade-complete"),
+                rollout("upgrade-complete"),
+                final(),
+            ]
+        )
+        violations = check_rollout_version_monotonic(history)
+        assert any("upgraded twice" in v.message for v in violations)
+
+    def test_mixed_final_versions_flagged(self):
+        history = build(
+            [
+                start(fleet=("svc-1", "svc-2")),
+                rollout("upgrade-complete"),
+                final(versions={"svc-1": TARGET, "svc-2": PINNED}),
+            ]
+        )
+        violations = check_rollout_version_monotonic(history)
+        assert any("mixed-version" in v.message for v in violations)
+
+    def test_outcome_version_mismatch_flagged(self):
+        history = build(
+            [
+                start(),
+                rollout("upgrade-complete"),
+                final(outcome="rolled-back", versions={"svc-1": TARGET}),
+            ]
+        )
+        violations = check_rollout_version_monotonic(history)
+        assert any("not at version" in v.message for v in violations)

@@ -1,0 +1,80 @@
+"""``python -m repro rollout``: deterministic, self-digested verdicts.
+
+The CLI is the reproduction surface: CI runs every scenario twice and
+``cmp``'s the verdict files, so byte-stability *is* the contract.
+"""
+
+import json
+
+import pytest
+
+from repro.rollout.cli import SCENARIOS, rollout_main
+
+
+def run(tmp_path, label, args):
+    out = tmp_path / ("%s.json" % label)
+    code = rollout_main(args + ["--out", str(out)])
+    return code, out.read_bytes()
+
+
+def test_scenarios_catalogue():
+    assert sorted(SCENARIOS) == [
+        "bad-release",
+        "clean",
+        "crash-canary",
+        "crash-wave",
+        "partition",
+    ]
+
+
+@pytest.mark.parametrize("scenario", ["clean", "crash-canary"])
+def test_two_same_seed_runs_byte_identical(tmp_path, capsys, scenario):
+    base = ["--seed", "3", "--scenario", scenario]
+    code1, first = run(tmp_path, "first", base)
+    code2, second = run(tmp_path, "second", base)
+    assert code1 == 0 and code2 == 0
+    assert first == second
+    capsys.readouterr()
+
+
+def test_verdict_document_shape(tmp_path, capsys):
+    code, raw = run(tmp_path, "clean", ["--seed", "0"])
+    assert code == 0
+    document = json.loads(raw)
+    assert document["tool"] == "repro.rollout"
+    assert document["ok"] is True
+    assert document["rollout"]["outcome"] == "completed"
+    assert document["rollout"]["mixed_version"] is False
+    assert document["requests"]["dropped_in_upgrade_windows"] == 0
+    assert "rollout-no-dropped-request" in document["checkers"]
+    assert "rollout-version-monotonic" in document["checkers"]
+    # The digest is over the document minus itself — recomputable.
+    body = dict(document)
+    digest = body.pop("digest")
+    import hashlib
+
+    assert digest == hashlib.sha256(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    capsys.readouterr()
+
+
+def test_bad_release_rolls_back_and_still_passes(tmp_path, capsys):
+    code, raw = run(
+        tmp_path, "bad", ["--seed", "0", "--scenario", "bad-release"]
+    )
+    document = json.loads(raw)
+    assert code == 0
+    assert document["rollout"]["outcome"] == "rolled-back"
+    assert "latency-p95" in document["rollout"]["reason"]
+    assert document["ok"] is True
+    capsys.readouterr()
+
+
+def test_main_module_dispatch(capsys, tmp_path):
+    from repro.__main__ import main
+
+    out = tmp_path / "verdict.json"
+    assert main(["rollout", "--seed", "1", "--out", str(out)]) == 0
+    assert json.loads(out.read_bytes())["seed"] == 1
+    capsys.readouterr()

@@ -1,0 +1,28 @@
+"""BundleRelease: version-pinned, freshly-materialised definitions."""
+
+from repro.rollout.release import BundleRelease, make_release
+
+
+def test_make_release_defaults():
+    release = make_release()
+    assert release.symbolic_name == "fleet.app"
+    assert release.version == "2.0.0"
+    assert str(release) == "fleet.app@2.0.0"
+
+
+def test_definition_carries_version_and_profile():
+    release = make_release("fleet.app", version="3.1.0", service_time=0.05)
+    definition = release.definition()
+    assert definition.symbolic_name == "fleet.app"
+    assert str(definition.version) == "3.1.0"
+
+
+def test_definitions_are_fresh_per_call():
+    release = make_release()
+    assert release.definition() is not release.definition()
+
+
+def test_release_is_value_like():
+    assert make_release(version="9.0.0") == BundleRelease(
+        symbolic_name="fleet.app", version="9.0.0"
+    )

@@ -1,0 +1,136 @@
+"""Gate windows: delta-based health verdicts over metric instruments."""
+
+import pytest
+
+from repro.telemetry.gates import (
+    GateSpec,
+    GateWindow,
+    default_rollout_gates,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+BUCKETS = (0.05, 0.1, 0.25, 0.5)
+
+
+def counter_gate(threshold=0.0):
+    return GateSpec(
+        name="drops",
+        kind="counter-max-increase",
+        metric="test.dropped",
+        threshold=threshold,
+    )
+
+
+def latency_gate(threshold=0.25, quantile=0.95):
+    return GateSpec(
+        name="latency",
+        kind="histogram-quantile-max",
+        metric="test.latency",
+        threshold=threshold,
+        quantile=quantile,
+    )
+
+
+class TestGateSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GateSpec(name="x", kind="rate-limit", metric="m", threshold=1.0)
+
+    @pytest.mark.parametrize("quantile", [0.0, -0.5, 1.5])
+    def test_quantile_bounds(self, quantile):
+        with pytest.raises(ValueError):
+            GateSpec(
+                name="x",
+                kind="histogram-quantile-max",
+                metric="m",
+                threshold=1.0,
+                quantile=quantile,
+            )
+
+
+class TestCounterGate:
+    def test_only_window_increase_counts(self):
+        registry = MetricsRegistry()
+        registry.counter("test.dropped", node="n1").inc(7)
+        window = GateWindow(registry, [counter_gate(threshold=0.0)])
+        (result,) = window.evaluate()
+        assert result.ok and result.observed == 0
+
+        registry.counter("test.dropped", node="n1").inc(2)
+        (result,) = window.evaluate()
+        assert not result.ok and result.observed == 2
+        assert [r.name for r in window.trips()] == ["drops"]
+
+    def test_sums_across_label_sets(self):
+        registry = MetricsRegistry()
+        window = GateWindow(registry, [counter_gate(threshold=3.0)])
+        registry.counter("test.dropped", node="n1").inc(2)
+        registry.counter("test.dropped", node="n2").inc(1)
+        (result,) = window.evaluate()
+        assert result.observed == 3 and result.ok
+
+
+class TestHistogramGate:
+    def test_quantile_over_window_deltas_only(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("test.latency", buckets=BUCKETS)
+        for _ in range(100):
+            histogram.observe(0.4)  # terrible latency *before* the window
+        window = GateWindow(registry, [latency_gate(threshold=0.25)])
+        for _ in range(20):
+            histogram.observe(0.08)  # healthy inside the window
+        (result,) = window.evaluate()
+        assert result.ok
+        assert result.observed == 0.1  # bucket upper bound of 0.08
+        assert result.samples == 20
+
+    def test_regression_inside_window_trips(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("test.latency", buckets=BUCKETS)
+        window = GateWindow(registry, [latency_gate(threshold=0.25)])
+        for _ in range(20):
+            histogram.observe(0.4)
+        (result,) = window.evaluate()
+        assert not result.ok and result.observed == 0.5
+
+    def test_empty_window_passes(self):
+        registry = MetricsRegistry()
+        registry.histogram("test.latency", buckets=BUCKETS).observe(9.0)
+        window = GateWindow(registry, [latency_gate(threshold=0.01)])
+        (result,) = window.evaluate()
+        assert result.ok and result.samples == 0
+
+    def test_missing_instrument_passes(self):
+        window = GateWindow(MetricsRegistry(), [latency_gate()])
+        (result,) = window.evaluate()
+        assert result.ok and result.observed == 0.0
+
+    def test_instrument_created_after_open_is_judged_whole(self):
+        registry = MetricsRegistry()
+        window = GateWindow(registry, [latency_gate(threshold=0.25)])
+        histogram = registry.histogram("test.latency", buckets=BUCKETS)
+        for _ in range(10):
+            histogram.observe(0.4)
+        (result,) = window.evaluate()
+        assert not result.ok and result.samples == 10
+
+
+def test_default_rollout_gates_catalogue():
+    drops, latency = default_rollout_gates()
+    assert drops.name == "no-new-drops"
+    assert drops.metric == "ipvs.dropped_total"
+    assert drops.threshold == 0.0
+    assert latency.name == "latency-p95"
+    assert latency.metric == "ipvs.request_latency_seconds"
+    assert latency.quantile == 0.95
+
+
+def test_gate_result_round_trips_to_dict():
+    registry = MetricsRegistry()
+    registry.counter("test.dropped").inc(1)
+    window = GateWindow(registry, [counter_gate(threshold=2.0)])
+    registry.counter("test.dropped").inc(1)
+    (result,) = window.evaluate()
+    out = result.to_dict()
+    assert out["name"] == "drops" and out["ok"] is True
+    assert out["observed"] == 1
