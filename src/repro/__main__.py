@@ -5,8 +5,10 @@ customers (one with a warm standby), injects a crash, and prints the
 dependability story. With ``chaos``: runs a seeded chaos campaign of
 random fault schedules with invariant checking (see docs/FAULTS.md) and
 prints a reproduction snippet for any violation. With ``bench``: runs
-the hot-path microbenchmark suite and writes ``BENCH_<rev>.json`` (see
-docs/PERF.md). With ``lint``: runs the sim-safety determinism linter
+the hot-path microbenchmark suite — and, via ``--suite macro``, the
+million-user-day macro scenario — writing ``BENCH_<rev>.json``, with
+``--compare`` regression gating (see docs/PERF.md). With ``lint``: runs
+the sim-safety determinism linter
 over the package (or given paths) and exits non-zero on findings (see
 docs/ANALYSIS.md). With ``trace``: runs a telemetry-enabled scenario and
 exports a Chrome ``trace_event`` file (see docs/TELEMETRY.md). With

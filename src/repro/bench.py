@@ -26,7 +26,13 @@ from typing import Any, Callable, Dict, List, Optional
 # repro: allow-file[DET001] -- benchmarks measure real elapsed wall
 # time by design; nothing here feeds back into simulated state.
 
-__all__ = ["run_suite", "bench_main", "BENCHMARK_NAMES"]
+__all__ = [
+    "run_suite",
+    "bench_main",
+    "compare_reports",
+    "BENCHMARK_NAMES",
+    "MACRO_BENCHMARK_NAMES",
+]
 
 BENCHMARK_NAMES = (
     "registry_lookup",
@@ -37,6 +43,10 @@ BENCHMARK_NAMES = (
     "network_fanout",
     "fig6_ipvs",
 )
+
+#: The macro suite (``--suite macro``): end-to-end scenario runs from
+#: :mod:`repro.macrobench` rather than isolated-operation timings.
+MACRO_BENCHMARK_NAMES = ("macro_million_user_day",)
 
 
 def _percentile(sorted_samples: List[int], fraction: float) -> float:
@@ -250,6 +260,52 @@ def _bench_fig6_ipvs(iterations: int) -> Dict[str, Any]:
     return result
 
 
+def _bench_macro_day(quick: bool) -> Dict[str, Any]:
+    """Run the million-user-day macro scenario and time the whole run.
+
+    ``ops_per_sec`` is wall-clock *requests per second of benchmark
+    runtime* (how fast the simulator chews through the day), while
+    ``p50_us``/``p99_us`` are **virtual** request latencies in
+    microseconds of simulated time — the load-balancer/queueing story.
+    ``wall_seconds_per_m_events`` is the headline event-loop cost metric
+    tracked PR over PR.
+    """
+    from repro.macrobench import MacroConfig, MacroScenario
+
+    config = MacroConfig.smoke() if quick else MacroConfig.million_user_day()
+    scenario = MacroScenario(config)
+    clock = time.perf_counter_ns
+    start = clock()
+    result = scenario.run()
+    wall_seconds = (clock() - start) / 1e9
+    events = max(1, result.events_fired)
+    report = {
+        "ops_per_sec": round(result.submitted / wall_seconds, 1)
+        if wall_seconds
+        else 0.0,
+        "p50_us": round(result.latency_p50 * 1e6, 3),
+        "p99_us": round(result.latency_p99 * 1e6, 3),
+        "iterations": result.submitted,
+        "wall_seconds": round(wall_seconds, 4),
+        "events_fired": result.events_fired,
+        "wall_seconds_per_m_events": round(wall_seconds / (events / 1e6), 4),
+        "meta": {
+            "virtual_latency": True,
+            "sim_seconds": round(result.sim_seconds, 3),
+            "completed": result.completed,
+            "dropped": result.dropped,
+            "shards": config.shards,
+            "servers": config.shards * config.servers_per_shard,
+            "scheduler": config.scheduler,
+            "digest": result.report()["digest"],
+        },
+    }
+    # Stash the deterministic report so bench_main can emit it for the
+    # two-run byte-identical CI guard without a second scenario run.
+    report["_macro_report"] = result.report()
+    return report
+
+
 def _metrics_snapshot() -> Dict[str, Any]:
     """Run a short telemetry-instrumented scenario and snapshot its metrics.
 
@@ -321,21 +377,40 @@ def _revision() -> str:
 
 
 def run_suite(
-    quick: bool = False, only: Optional[List[str]] = None
+    quick: bool = False,
+    only: Optional[List[str]] = None,
+    suite: str = "micro",
 ) -> Dict[str, Any]:
-    """Run the benchmarks and return the report dict (not yet serialised)."""
+    """Run the benchmarks and return the report dict (not yet serialised).
+
+    ``suite`` selects ``"micro"`` (the original isolated hot-path
+    timings), ``"macro"`` (the million-user-day scenario), or ``"all"``.
+    """
+    if suite not in ("micro", "macro", "all"):
+        raise ValueError("unknown suite: %r" % suite)
     report: Dict[str, Any] = {
         "revision": _revision(),
         "python": platform.python_version(),
         "quick": quick,
+        "suite": suite,
         "benchmarks": {},
     }
-    for name, (fn, iterations, quick_iterations) in _SUITE.items():
-        if only and name not in only:
-            continue
-        report["benchmarks"][name] = fn(quick_iterations if quick else iterations)
-    if not only:
-        report["metrics"] = _metrics_snapshot()
+    if suite in ("micro", "all"):
+        for name, (fn, iterations, quick_iterations) in _SUITE.items():
+            if only and name not in only:
+                continue
+            report["benchmarks"][name] = fn(
+                quick_iterations if quick else iterations
+            )
+        if not only:
+            report["metrics"] = _metrics_snapshot()
+    if suite in ("macro", "all"):
+        for name in MACRO_BENCHMARK_NAMES:
+            if only and name not in only:
+                continue
+            entry = _bench_macro_day(quick)
+            report["macro_report"] = entry.pop("_macro_report")
+            report["benchmarks"][name] = entry
     indexed = report["benchmarks"].get("registry_lookup")
     linear = report["benchmarks"].get("registry_lookup_linear_baseline")
     if indexed and linear and linear["ops_per_sec"]:
@@ -345,6 +420,33 @@ def run_suite(
             )
         }
     return report
+
+
+def compare_reports(
+    old: Dict[str, Any], new: Dict[str, Any], threshold: float = 0.15
+) -> Dict[str, Any]:
+    """Compare ``ops_per_sec`` of benchmarks shared by two reports.
+
+    Returns ``{"rows": [...], "regressions": [...]}`` where each row is
+    ``(name, old_ops, new_ops, change)`` and a regression is any shared
+    benchmark whose throughput dropped by more than ``threshold``
+    (default 15%). Benchmarks present in only one report are ignored, so
+    the gate keeps working as the suite grows.
+    """
+    rows: List[Any] = []
+    regressions: List[str] = []
+    old_benchmarks = old.get("benchmarks", {})
+    new_benchmarks = new.get("benchmarks", {})
+    for name in sorted(set(old_benchmarks) & set(new_benchmarks)):
+        old_ops = old_benchmarks[name].get("ops_per_sec", 0.0)
+        new_ops = new_benchmarks[name].get("ops_per_sec", 0.0)
+        if not old_ops:
+            continue
+        change = (new_ops - old_ops) / old_ops
+        rows.append((name, old_ops, new_ops, change))
+        if change < -threshold:
+            regressions.append(name)
+    return {"rows": rows, "regressions": regressions}
 
 
 def bench_main(argv=None) -> int:
@@ -358,40 +460,77 @@ def bench_main(argv=None) -> int:
         "--quick", action="store_true", help="reduced iterations (CI smoke)"
     )
     parser.add_argument(
+        "--suite",
+        choices=("micro", "macro", "all"),
+        default="micro",
+        help="micro hot paths, the million-user-day macro scenario, or both",
+    )
+    parser.add_argument(
         "--only",
         default=None,
         help="comma-separated benchmark names (default: all of %s)"
-        % ",".join(BENCHMARK_NAMES),
+        % ",".join(BENCHMARK_NAMES + MACRO_BENCHMARK_NAMES),
     )
     parser.add_argument(
         "--out",
         default=None,
         help="output path (default: BENCH_<rev>.json in the current directory)",
     )
+    parser.add_argument(
+        "--macro-report",
+        default=None,
+        metavar="PATH",
+        help="also write the deterministic macro scenario report (no wall "
+        "times; byte-identical across same-seed runs) to PATH",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="OLD.json",
+        help="compare against a previous BENCH report; exit nonzero when "
+        "any shared benchmark regressed past the threshold",
+    )
+    parser.add_argument(
+        "--compare-threshold",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="relative ops/sec drop that counts as a regression "
+        "(default: 0.15)",
+    )
     args = parser.parse_args(argv)
 
+    all_names = BENCHMARK_NAMES + MACRO_BENCHMARK_NAMES
     only = None
     if args.only:
         only = [n.strip() for n in args.only.split(",") if n.strip()]
-        unknown = sorted(set(only) - set(BENCHMARK_NAMES))
+        unknown = sorted(set(only) - set(all_names))
         if unknown:
             parser.error(
                 "unknown benchmarks %s (choose from %s)"
-                % (",".join(unknown), ",".join(BENCHMARK_NAMES))
+                % (",".join(unknown), ",".join(all_names))
             )
 
-    report = run_suite(quick=args.quick, only=only)
+    report = run_suite(quick=args.quick, only=only, suite=args.suite)
     path = args.out or ("BENCH_%s.json" % report["revision"])
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    print("repro bench — revision %s%s" % (report["revision"], " (quick)" if report["quick"] else ""))
+    print(
+        "repro bench — revision %s, suite %s%s"
+        % (report["revision"], args.suite, " (quick)" if report["quick"] else "")
+    )
     for name, data in report["benchmarks"].items():
         print(
             "  %-34s %12.1f ops/s   p50 %8.2f us   p99 %8.2f us"
             % (name, data["ops_per_sec"], data["p50_us"], data["p99_us"])
         )
+        if "wall_seconds_per_m_events" in data:
+            print(
+                "  %-34s %12.4f wall-sec per 1M sim events (%d events)"
+                % ("", data["wall_seconds_per_m_events"], data["events_fired"])
+            )
     derived = report.get("derived", {})
     if "registry_lookup_speedup_vs_linear" in derived:
         print(
@@ -399,6 +538,38 @@ def bench_main(argv=None) -> int:
             % derived["registry_lookup_speedup_vs_linear"]
         )
     print("wrote %s" % path)
+
+    if args.macro_report:
+        macro_report = report.get("macro_report")
+        if macro_report is None:
+            parser.error("--macro-report requires --suite macro (or all)")
+        with open(args.macro_report, "w", encoding="utf-8") as handle:
+            json.dump(macro_report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s (deterministic macro report)" % args.macro_report)
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            old = json.load(handle)
+        outcome = compare_reports(old, report, threshold=args.compare_threshold)
+        print(
+            "compare vs %s (threshold %.0f%%):"
+            % (args.compare, args.compare_threshold * 100)
+        )
+        for name, old_ops, new_ops, change in outcome["rows"]:
+            marker = " !! REGRESSION" if name in outcome["regressions"] else ""
+            print(
+                "  %-34s %12.1f -> %12.1f ops/s  %+6.1f%%%s"
+                % (name, old_ops, new_ops, change * 100, marker)
+            )
+        if not outcome["rows"]:
+            print("  (no shared benchmarks)")
+        if outcome["regressions"]:
+            print(
+                "FAIL: %d benchmark(s) regressed more than %.0f%%"
+                % (len(outcome["regressions"]), args.compare_threshold * 100)
+            )
+            return 1
     return 0
 
 

@@ -20,7 +20,9 @@ downtime during takeover (FIG5/FIG6) are measurable quantities.
 """
 
 from repro.ipvs.addressing import AddressRegistry, IpEndpoint
+from repro.ipvs.hashring import ConsistentHashRing, stable_hash
 from repro.ipvs.schedulers import (
+    BucketedLeastConnectionScheduler,
     LeastConnectionScheduler,
     RoundRobinScheduler,
     Scheduler,
@@ -35,6 +37,8 @@ from repro.ipvs.server import (
 
 __all__ = [
     "AddressRegistry",
+    "BucketedLeastConnectionScheduler",
+    "ConsistentHashRing",
     "DirectorCluster",
     "IpEndpoint",
     "LeastConnectionScheduler",
@@ -44,4 +48,5 @@ __all__ = [
     "Scheduler",
     "VirtualServer",
     "WeightedRoundRobinScheduler",
+    "stable_hash",
 ]

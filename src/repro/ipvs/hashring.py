@@ -1,0 +1,77 @@
+"""Consistent-hash ring for director-shard request affinity.
+
+The macro benchmark (and, eventually, a decentralised director tier per
+Frénot's P2P deployment work) spreads clients across several
+:class:`~repro.ipvs.server.DirectorCluster` shards. A consistent-hash
+ring gives every client a stable home shard, and adding or removing a
+shard only moves ``~1/shards`` of the keys — connection affinity
+survives rescaling.
+
+Hashing uses ``zlib.crc32`` — deterministic across processes and Python
+versions (the builtin ``hash`` of strings is salted per process, which
+would break seed replay).
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right, insort
+from typing import Dict, List, Optional, Tuple
+
+
+def stable_hash(key: str) -> int:
+    """Process-independent 32-bit hash of ``key``."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+class ConsistentHashRing:
+    """Maps string keys onto shard ids with minimal-movement rescaling.
+
+    Each shard owns ``vnodes`` points on a 32-bit ring; a key belongs to
+    the first point clockwise from its own hash. Ties on a point are
+    impossible in practice but resolved deterministically by (point,
+    shard id) ordering.
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._shards: Dict[str, bool] = {}
+
+    def add_shard(self, shard_id: str) -> None:
+        if shard_id in self._shards:
+            raise ValueError("shard already on the ring: %r" % shard_id)
+        self._shards[shard_id] = True
+        for i in range(self.vnodes):
+            point = stable_hash("%s#%d" % (shard_id, i))
+            insort(self._points, (point, shard_id))
+
+    def remove_shard(self, shard_id: str) -> None:
+        if shard_id not in self._shards:
+            return
+        del self._shards[shard_id]
+        self._points = [p for p in self._points if p[1] != shard_id]
+
+    def shards(self) -> List[str]:
+        return sorted(self._shards)
+
+    def lookup(self, key: str) -> Optional[str]:
+        """Home shard of ``key``, or ``None`` on an empty ring."""
+        points = self._points
+        if not points:
+            return None
+        index = bisect_right(points, (stable_hash(key), "\uffff"))
+        if index == len(points):
+            index = 0
+        return points[index][1]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __repr__(self) -> str:
+        return "ConsistentHashRing(%d shards, %d points)" % (
+            len(self._shards),
+            len(self._points),
+        )

@@ -54,10 +54,9 @@ class Request:
 
 
 def _finish_request_telemetry(
-    request: Request, serve_span: Optional[Span], loop: EventLoop
+    request: Request, serve_span: Optional[Span], now: float
 ) -> None:
     """End the request's spans and record its latency histogram sample."""
-    now = loop.clock.now
     outcome = request.dropped or "ok"
     if serve_span is not None:
         serve_span.attributes["outcome"] = outcome
@@ -112,9 +111,15 @@ class RealServer:
         self.active_connections = 0
         self.served = 0
         self._busy_until = 0.0
+        self._clock = None
         #: Callback ``(request) -> None`` at completion — the hook that
         #: charges the serving customer's resource ledger.
         self.on_served = on_served
+        #: Observers of :attr:`active_connections` changes, called as
+        #: ``watcher(server, delta)`` with ``delta`` in {+1, -1} *after*
+        #: the counter moved. Keeps the bucketed scheduler's index and
+        #: the director's per-node counters exact without scans.
+        self._watchers: List = []
 
     @property
     def available(self) -> bool:
@@ -122,29 +127,51 @@ class RealServer:
             self.active_connections < self.queue_limit
         )
 
+    def add_active_watcher(self, watcher) -> None:
+        """Subscribe to ``(server, ±1)`` active-connection updates."""
+        if watcher not in self._watchers:
+            self._watchers.append(watcher)
+
+    def remove_active_watcher(self, watcher) -> None:
+        if watcher in self._watchers:
+            self._watchers.remove(watcher)
+
     def admit(self, request: Request, loop: EventLoop) -> None:
         """Queue the request; completion fires after queueing + service."""
         self.active_connections += 1
-        start = max(loop.clock.now, self._busy_until)
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher(self, 1)
+        self._clock = loop.clock
+        start = loop.clock.now
+        if self._busy_until > start:
+            start = self._busy_until
         finish_at = start + self.service_time
         self._busy_until = finish_at
-        serve_span: Optional[Span] = None
-        if _rt.ACTIVE is not None:
-            serve_span = _rt.ACTIVE.tracer.start_span(
-                "ipvs.serve", node=self.node_id, attributes={"port": self.port}
-            )
+        if _rt.ACTIVE is None:
+            # Telemetry off: no span to carry, so completion needs no
+            # per-request closure — a pooled transient event with the
+            # request as its argument (the macro-scale fast path).
+            loop.call_transient_at(finish_at, self._finish_plain, request)
+            return
+        serve_span: Optional[Span] = _rt.ACTIVE.tracer.start_span(
+            "ipvs.serve", node=self.node_id, attributes={"port": self.port}
+        )
 
         def finish() -> None:
             self.active_connections -= 1
+            if self._watchers:
+                for watcher in self._watchers:
+                    watcher(self, -1)
             if not self.alive:
                 request.dropped = "server-died"
                 _record_drop(request, self.node_id)
-                _finish_request_telemetry(request, serve_span, loop)
+                _finish_request_telemetry(request, serve_span, loop.clock.now)
                 return
             self.served += 1
             request.completed_at = loop.clock.now
             request.served_by = self.node_id
-            _finish_request_telemetry(request, serve_span, loop)
+            _finish_request_telemetry(request, serve_span, loop.clock.now)
             if self.on_served is not None:
                 try:
                     self.on_served(request)
@@ -152,6 +179,33 @@ class RealServer:
                     pass
 
         loop.call_at(finish_at, finish, label="req:%d" % request.request_id)
+
+    def _finish_plain(self, request: Request) -> None:
+        """Completion without an ``ipvs.serve`` span (telemetry was off
+        at admit time); semantics otherwise identical to ``finish``."""
+        self.active_connections -= 1
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher(self, -1)
+        now = self._clock.now
+        if not self.alive:
+            request.dropped = "server-died"
+            _record_drop(request, self.node_id)
+            if request.span is not None or _rt.ACTIVE is not None:
+                _finish_request_telemetry(request, None, now)
+            return
+        self.served += 1
+        request.completed_at = now
+        request.served_by = self.node_id
+        if request.span is not None or _rt.ACTIVE is not None:
+            # Telemetry flipped on mid-flight, or the submit-side span is
+            # still open: close it out the slow way.
+            _finish_request_telemetry(request, None, now)
+        if self.on_served is not None:
+            try:
+                self.on_served(request)
+            except Exception:
+                pass
 
     def __repr__(self) -> str:
         return "RealServer(%s:%d, w=%d, active=%d, served=%d, %s)" % (
@@ -172,6 +226,10 @@ class VirtualServer:
         self._loop = loop
         self.alive = True
         self._services: Dict[Tuple[str, int], Tuple[Scheduler, List[RealServer]]] = {}
+        #: node_id -> its real servers across every service; keeps the
+        #: per-node operations (health flips, drains, re-profiles, active
+        #: counts) from scanning the whole service table.
+        self._node_index: Dict[str, List[RealServer]] = {}
         #: service key -> persistence window in seconds (0 = stateless).
         self._persistence: Dict[Tuple[str, int], float] = {}
         #: (service key, client) -> (node_id, expires_at); LVS "-p" analogue.
@@ -200,7 +258,10 @@ class VirtualServer:
         key = (endpoint.ip, endpoint.port)
         if key not in self._services:
             raise ValueError("no service at %s" % endpoint)
-        self._services[key][1].append(server)
+        scheduler, servers = self._services[key]
+        servers.append(server)
+        self._node_index.setdefault(server.node_id, []).append(server)
+        scheduler.topology_changed()
 
     def remove_real_server(self, endpoint: IpEndpoint, node_id: str) -> int:
         key = (endpoint.ip, endpoint.port)
@@ -209,7 +270,21 @@ class VirtualServer:
         scheduler, servers = self._services[key]
         before = len(servers)
         servers[:] = [s for s in servers if s.node_id != node_id]
-        return before - len(servers)
+        removed = before - len(servers)
+        if removed:
+            # Rebuild the node's index entry from the surviving services.
+            index = [
+                s
+                for _, svrs in self._services.values()
+                for s in svrs
+                if s.node_id == node_id
+            ]
+            if index:
+                self._node_index[node_id] = index
+            else:
+                self._node_index.pop(node_id, None)
+            scheduler.topology_changed()
+        return removed
 
     def real_servers(self, endpoint: IpEndpoint) -> List[RealServer]:
         key = (endpoint.ip, endpoint.port)
@@ -233,11 +308,9 @@ class VirtualServer:
     def mark_node(self, node_id: str, alive: bool) -> int:
         """Health update: flip every real server hosted on ``node_id``."""
         touched = 0
-        for _, servers in self._services.values():
-            for server in servers:
-                if server.node_id == node_id:
-                    server.alive = alive
-                    touched += 1
+        for server in self._node_index.get(node_id, ()):
+            server.alive = alive
+            touched += 1
         return touched
 
     def set_node_weight(self, node_id: str, weight: int) -> int:
@@ -248,30 +321,24 @@ class VirtualServer:
         sending it new ones (``ipvsadm --edit-server --weight 0``).
         """
         touched = 0
-        for _, servers in self._services.values():
-            for server in servers:
-                if server.node_id == node_id:
-                    server.weight = weight
-                    touched += 1
+        for server in self._node_index.get(node_id, ()):
+            server.weight = weight
+            touched += 1
         return touched
 
     def set_node_service_time(self, node_id: str, service_time: float) -> int:
         """Re-profile every real server on ``node_id`` (release change)."""
         touched = 0
-        for _, servers in self._services.values():
-            for server in servers:
-                if server.node_id == node_id:
-                    server.service_time = service_time
-                    touched += 1
+        for server in self._node_index.get(node_id, ()):
+            server.service_time = service_time
+            touched += 1
         return touched
 
     def node_active_connections(self, node_id: str) -> int:
         """In-flight requests across every real server on ``node_id``."""
         active = 0
-        for _, servers in self._services.values():
-            for server in servers:
-                if server.node_id == node_id:
-                    active += server.active_connections
+        for server in self._node_index.get(node_id, ()):
+            active += server.active_connections
         return active
 
     # -- routing -----------------------------------------------------------
@@ -351,7 +418,11 @@ class DirectorCluster:
     """
 
     def __init__(
-        self, loop: EventLoop, replicas: int = 2, failover_seconds: float = 1.0
+        self,
+        loop: EventLoop,
+        replicas: int = 2,
+        failover_seconds: float = 1.0,
+        retain_requests: bool = True,
     ) -> None:
         if replicas < 1:
             raise ValueError("need at least one director")
@@ -362,10 +433,19 @@ class DirectorCluster:
         ]
         self._primary_index = 0
         self._takeover_ready_at = 0.0
+        #: Keep every Request object? Macro-scale runs (millions of
+        #: requests) switch this off and account latency via the
+        #: ``on_served`` callback instead; :attr:`requests` then stays
+        #: empty and :meth:`stats` reports from aggregate counters.
+        self.retain_requests = retain_requests
         self.requests: List[Request] = []
+        self.submitted = 0
         self._next_request_id = 1
         #: node_id -> pre-drain weight (see :meth:`drain_node`).
         self._drained_weights: Dict[str, int] = {}
+        #: node_id -> live in-flight count across every replica, kept by
+        #: per-server watchers so drain polling never scans the tables.
+        self._node_active: Dict[str, int] = {}
 
     # -- configuration fan-out ---------------------------------------------
     def add_service(
@@ -391,17 +471,16 @@ class DirectorCluster:
         on_served=None,
     ) -> None:
         for director in self.directors:
-            director.add_real_server(
-                endpoint,
-                RealServer(
-                    node_id,
-                    endpoint.port,
-                    weight=weight,
-                    service_time=service_time,
-                    queue_limit=queue_limit,
-                    on_served=on_served,
-                ),
+            server = RealServer(
+                node_id,
+                endpoint.port,
+                weight=weight,
+                service_time=service_time,
+                queue_limit=queue_limit,
+                on_served=on_served,
             )
+            server.add_active_watcher(self._on_server_active)
+            director.add_real_server(endpoint, server)
 
     def remove_real_server(self, endpoint: IpEndpoint, node_id: str) -> None:
         for director in self.directors:
@@ -441,11 +520,13 @@ class DirectorCluster:
     def is_draining(self, node_id: str) -> bool:
         return node_id in self._drained_weights
 
+    def _on_server_active(self, server: RealServer, delta: int) -> None:
+        counters = self._node_active
+        counters[server.node_id] = counters.get(server.node_id, 0) + delta
+
     def node_active_connections(self, node_id: str) -> int:
-        """In-flight requests to ``node_id``, across every replica."""
-        return sum(
-            d.node_active_connections(node_id) for d in self.directors
-        )
+        """In-flight requests to ``node_id``, across every replica (O(1))."""
+        return self._node_active.get(node_id, 0)
 
     def set_node_service_time(self, node_id: str, service_time: float) -> None:
         """Re-profile ``node_id``'s real servers (new release behaviour)."""
@@ -497,7 +578,9 @@ class DirectorCluster:
             client=client,
         )
         self._next_request_id += 1
-        self.requests.append(request)
+        self.submitted += 1
+        if self.retain_requests:
+            self.requests.append(request)
         telemetry = _rt.ACTIVE
         if telemetry is not None:
             telemetry.metrics.counter("ipvs.requests_total").inc()
@@ -535,6 +618,22 @@ class DirectorCluster:
 
     # -- statistics -----------------------------------------------------------
     def stats(self) -> Dict[str, float]:
+        if not self.retain_requests:
+            # Aggregate-counter mode: per-request latency lives with the
+            # caller's ``on_served`` hook (see repro.macrobench).
+            served = 0.0
+            for director in self.directors:
+                for _endpoint, server in director.all_real_servers():
+                    served += server.served
+            return {
+                "submitted": float(self.submitted),
+                "completed": served,
+                "dropped": float(
+                    sum(sum(d.drops.values()) for d in self.directors)
+                ),
+                "mean_latency": 0.0,
+                "max_latency": 0.0,
+            }
         completed = [r for r in self.requests if r.ok]
         dropped = [r for r in self.requests if r.dropped is not None]
         latencies = [r.latency for r in completed]

@@ -1,0 +1,18 @@
+"""The "million-user day" macro-benchmark (``python -m repro bench --suite macro``).
+
+Where :mod:`repro.bench` measures micro hot paths in isolation, this
+package runs the platform shaped like production: several
+:class:`~repro.ipvs.server.DirectorCluster` shards behind a
+consistent-hash ring, dozens of real-server instances, and an open-loop
+diurnal arrival process pushing millions of simulated requests through
+one deterministic event loop. See ``docs/PERF.md`` for how to run it and
+read the numbers.
+"""
+
+from repro.macrobench.scenario import (
+    MacroConfig,
+    MacroResult,
+    MacroScenario,
+)
+
+__all__ = ["MacroConfig", "MacroResult", "MacroScenario"]

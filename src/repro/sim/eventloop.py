@@ -3,33 +3,75 @@
 Events fire in ``(time, sequence)`` order: two events scheduled for the same
 instant fire in the order they were scheduled, which keeps multi-node runs
 reproducible regardless of dict/set iteration quirks in caller code.
+
+Internally the loop is a two-tier scheduling structure tuned for the
+macro-benchmark event volumes (millions of events per run):
+
+* a binary heap of ``(when, seq, event)`` tuples — tuple entries compare
+  at C speed, where heap discipline on the event objects themselves
+  would call a Python-level ``__lt__`` O(log n) times per operation;
+* a FIFO *ready deque* for events scheduled at the **current** instant
+  (``call_soon`` and same-instant chains): those never need heap
+  ordering at all, because every event already queued for this instant
+  necessarily has a smaller sequence number (anything scheduled *now*
+  for *now* is appended; anything scheduled earlier went to the heap
+  before the clock reached this instant).
+
+Fire-and-forget callers (network delivery, request completions, arrival
+generators) use :meth:`EventLoop.call_transient_at`: transient events
+return no handle, can never be cancelled, and are recycled through an
+object pool, eliminating the per-event allocation on the hottest paths.
+Ordering is identical either way — both APIs draw from the same sequence
+counter.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.clock import Clock
+
+#: Sentinel distinguishing "no argument" from an explicit ``None`` arg.
+_NO_ARG = object()
+
+#: Upper bound on pooled transient-event objects kept for reuse.
+_POOL_LIMIT = 4096
 
 
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("when", "seq", "action", "label", "cancelled", "_on_cancel")
+    __slots__ = (
+        "when",
+        "seq",
+        "action",
+        "arg",
+        "label",
+        "cancelled",
+        "transient",
+        "_on_cancel",
+    )
 
     def __init__(
         self,
         when: float,
         seq: int,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         label: str = "",
     ) -> None:
         self.when = when
         self.seq = seq
         self.action = action
+        #: Optional single argument passed to ``action`` at fire time
+        #: (transient events use it to avoid per-event closures).
+        self.arg: Any = _NO_ARG
         self.label = label
         self.cancelled = False
+        #: Pool-recyclable event with no external handle (see
+        #: :meth:`EventLoop.call_transient_at`).
+        self.transient = False
         #: Loop bookkeeping hook; cleared once the event leaves the queue.
         self._on_cancel: Optional[Callable[[], None]] = None
 
@@ -67,7 +109,12 @@ class EventLoop:
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
-        self._queue: List[ScheduledEvent] = []
+        self._queue: List[Tuple[float, int, ScheduledEvent]] = []
+        #: Events at the current instant, in seq (FIFO) order. Invariant:
+        #: every entry's ``when`` equals the clock time it was appended
+        #: at, and the deque is drained before the clock advances.
+        self._ready: "deque[ScheduledEvent]" = deque()
+        self._pool: List[ScheduledEvent] = []
         self._seq = 0
         self._fired = 0
         self._live = 0  # non-cancelled events still queued; pending is O(1)
@@ -91,8 +138,12 @@ class EventLoop:
             )
         event = ScheduledEvent(when, self._seq, action, label)
         self._seq += 1
-        event._on_cancel = self._note_cancel
-        heapq.heappush(self._queue, event)
+        if when == self.clock.now:
+            event._on_cancel = self._note_cancel_ready
+            self._ready.append(event)
+        else:
+            event._on_cancel = self._note_cancel
+            heapq.heappush(self._queue, (when, event.seq, event))
         self._live += 1
         return event
 
@@ -108,6 +159,50 @@ class EventLoop:
         """Schedule ``action`` at the current instant, after queued peers."""
         return self.call_at(self.clock.now, action, label)
 
+    def call_transient_at(
+        self, when: float, action: Callable[..., Any], arg: Any = _NO_ARG
+    ) -> None:
+        """Schedule a fire-and-forget event; no handle, no cancellation.
+
+        Transient events are the hot-path variant of :meth:`call_at`:
+        because the caller can never cancel one, the loop recycles the
+        underlying :class:`ScheduledEvent` objects through an object
+        pool. ``arg``, when given, is passed to ``action`` at fire time,
+        which lets callers avoid a per-event closure. Ordering is the
+        same strict ``(time, seq)`` as every other event.
+        """
+        now = self.clock.now
+        if when < now:
+            raise ValueError(
+                "cannot schedule in the past: now=%r when=%r" % (now, when)
+            )
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.when = when
+            event.seq = self._seq
+            event.action = action
+            event.arg = arg
+            event.cancelled = False
+        else:
+            event = ScheduledEvent(when, self._seq, action)
+            event.arg = arg
+            event.transient = True
+        self._seq += 1
+        if when == now:
+            self._ready.append(event)
+        else:
+            heapq.heappush(self._queue, (when, event.seq, event))
+        self._live += 1
+
+    def call_transient_after(
+        self, delay: float, action: Callable[..., Any], arg: Any = _NO_ARG
+    ) -> None:
+        """Transient (uncancellable, pooled) variant of :meth:`call_after`."""
+        if delay < 0:
+            raise ValueError("negative delay: %r" % delay)
+        self.call_transient_at(self.clock.now + delay, action, arg)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -121,24 +216,67 @@ class EventLoop:
         """Total number of events executed so far."""
         return self._fired
 
+    @property
+    def scheduled(self) -> int:
+        """Total number of events ever scheduled (the sequence counter).
+
+        Exposed so callers batching same-instant work (the network's
+        per-tick delivery coalescing) can prove "nothing else was
+        scheduled in between" without reaching into loop internals.
+        """
+        return self._seq
+
     def peek_next_time(self) -> Optional[float]:
         """Virtual time of the next live event, or ``None`` if idle."""
         self._drop_cancelled_head()
+        ready = self._ready
+        while ready and ready[0].cancelled:
+            ready.popleft()
+        if ready:
+            # Ready events sit at the current instant; nothing queued can
+            # be earlier (past scheduling is rejected).
+            return ready[0].when
         if not self._queue:
             return None
-        return self._queue[0].when
+        return self._queue[0][0]
+
+    def _fire(self, event: ScheduledEvent) -> None:
+        """Execute one dequeued, non-cancelled event."""
+        self._live -= 1
+        self._fired += 1
+        action = event.action
+        arg = event.arg
+        if event.transient:
+            event.action = None  # type: ignore[assignment]
+            event.arg = _NO_ARG
+            pool = self._pool
+            if len(pool) < _POOL_LIMIT:
+                pool.append(event)
+        else:
+            event._on_cancel = None
+        if arg is _NO_ARG:
+            action()
+        else:
+            action(arg)
 
     def step(self) -> bool:
         """Fire the single next event. Returns False when the queue is empty."""
         self._drop_cancelled_head()
-        if not self._queue:
+        ready = self._ready
+        while ready and ready[0].cancelled:
+            ready.popleft()
+        queue = self._queue
+        # Ready events live at the current instant. A heap event at the
+        # same instant was necessarily scheduled earlier (smaller seq),
+        # so the heap wins ties.
+        if queue and (not ready or queue[0][0] <= ready[0].when):
+            event = heapq.heappop(queue)[2]
+        elif ready:
+            event = ready.popleft()
+        else:
             return False
-        event = heapq.heappop(self._queue)
-        event._on_cancel = None
-        self._live -= 1
         self.clock.advance_to(event.when)
-        self._fired += 1
-        event.action()
+        self._fire(event)
         return True
 
     def run_until(self, deadline: float) -> int:
@@ -149,33 +287,54 @@ class EventLoop:
         the full window. Returns the number of events fired.
 
         Events sharing an instant are fired as one batch: the clock
-        advances once per distinct timestamp and the queue head is
-        re-examined without the per-event peek round-trip. Ordering is
-        still strict ``(time, seq)`` — actions scheduled *at* the current
-        instant by a firing event join the back of the batch, and
-        cancellations raised mid-batch are honoured.
+        advances once per distinct timestamp. Ordering is still strict
+        ``(time, seq)`` — heap events at the instant necessarily precede
+        ready-deque events in seq order, actions scheduled *at* the
+        current instant by a firing event join the back of the batch,
+        and cancellations raised mid-batch are honoured.
         """
         queue = self._queue
-        fired = 0
+        ready = self._ready
+        fired_before = self._fired
         while True:
-            self._drop_cancelled_head()
-            if not queue or queue[0].when > deadline:
+            while queue and queue[0][2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
+            while ready and ready[0].cancelled:
+                ready.popleft()
+            if ready:
+                when = ready[0].when
+            elif queue:
+                when = queue[0][0]
+            else:
                 break
-            when = queue[0].when
-            self.clock.advance_to(when)
-            while queue and queue[0].when == when:
-                event = heapq.heappop(queue)
+            if when > deadline:
+                break
+            if when > self.clock.now:
+                self.clock.advance_to(when)
+            # Heap events at this instant first (they were all scheduled
+            # before the clock reached it, so they carry smaller seqs
+            # than anything in the ready deque)...
+            while queue and queue[0][0] == when:
+                event = heapq.heappop(queue)[2]
                 if event.cancelled:
                     self._cancelled_in_queue -= 1
                     continue
-                event._on_cancel = None
-                self._live -= 1
-                self._fired += 1
-                event.action()
-                fired += 1
+                self._fire(event)
+            # ...then the ready deque, which only ever holds events for
+            # the current instant and may keep growing mid-batch.
+            while ready:
+                event = ready[0]
+                if event.cancelled:
+                    ready.popleft()
+                    continue
+                if event.when != when:  # pragma: no cover - defensive
+                    break
+                ready.popleft()
+                self._fire(event)
         if deadline > self.clock.now:
             self.clock.advance_to(deadline)
-        return fired
+        return self._fired - fired_before
 
     def run_for(self, duration: float) -> int:
         """Fire every event in the next ``duration`` seconds of virtual time."""
@@ -195,7 +354,7 @@ class EventLoop:
         return fired
 
     def _note_cancel(self) -> None:
-        """Bookkeeping for a cancellation of a still-queued event."""
+        """Bookkeeping for a cancellation of a still-queued heap event."""
         self._live -= 1
         self._cancelled_in_queue += 1
         # Compact once cancelled entries outnumber live ones: rebuilding
@@ -204,15 +363,19 @@ class EventLoop:
         if self._cancelled_in_queue > len(self._queue) // 2:
             self._compact()
 
+    def _note_cancel_ready(self) -> None:
+        """Cancellation of a ready-deque event: skipped at pop time."""
+        self._live -= 1
+
     def _compact(self) -> None:
         # In place: run_until holds an alias to the queue across actions
         # that may cancel (and thus compact) while a batch is mid-flight.
-        self._queue[:] = [e for e in self._queue if not e.cancelled]
+        self._queue[:] = [e for e in self._queue if not e[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled_in_queue = 0
 
     def _drop_cancelled_head(self) -> None:
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
             self._cancelled_in_queue -= 1
 

