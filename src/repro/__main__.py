@@ -8,8 +8,9 @@ prints a reproduction snippet for any violation. With ``bench``: runs
 the hot-path microbenchmark suite — and, via ``--suite macro``, the
 million-user-day macro scenario — writing ``BENCH_<rev>.json``, with
 ``--compare`` regression gating (see docs/PERF.md). With ``lint``: runs
-the sim-safety determinism linter
-over the package (or given paths) and exits non-zero on findings (see
+the sim-safety analysis engine — per-file determinism rules plus the
+whole-program taint/lane tiers — over the package (or given paths) and
+exits non-zero on findings not covered by the ratchet baseline (see
 docs/ANALYSIS.md). With ``trace``: runs a telemetry-enabled scenario and
 exports a Chrome ``trace_event`` file (see docs/TELEMETRY.md). With
 ``conform``: runs a conformance-checked chaos campaign (virtual-synchrony

@@ -1,0 +1,101 @@
+"""Content-addressed AST cache for the whole-program analysis engine.
+
+Parsing is the only part of a lint run whose cost is strictly
+per-file-content, so it is the part worth caching: the key is the
+SHA-256 of the source text, which makes entries immune to renames,
+mtime games and branch switches. Two tiers:
+
+* an in-process dict — makes repeated :func:`repro.analysis.engine.
+  analyze_paths` calls in one process (the ``bench --suite lint`` warm
+  leg, editor integrations) skip ``ast.parse`` entirely;
+* an optional on-disk directory of pickled trees (``cache_dir``) — what
+  CI persists between runs via ``actions/cache`` keyed on the source
+  tree hash (see .github/workflows/ci.yml, job ``lint``).
+
+A corrupt or unreadable disk entry is treated as a miss and reparsed;
+the cache can never change analysis results, only their cost.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+from typing import Dict, Optional
+
+__all__ = ["AstCache", "content_hash"]
+
+#: Bump when the pickled payload shape changes; stale-format disk
+#: entries then miss instead of unpickling garbage.
+_DISK_FORMAT = 1
+
+
+def content_hash(source: str) -> str:
+    """Stable cache key for one file's text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class AstCache:
+    """Parse-result cache keyed on content hash (memory + optional disk)."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self._memory: Dict[str, ast.Module] = {}
+        self.hits = 0
+        self.misses = 0
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def parse(self, source: str, filename: str = "<unknown>") -> ast.Module:
+        """Return the AST of ``source``, from cache when possible.
+
+        Raises :class:`SyntaxError` exactly like ``ast.parse`` — syntax
+        errors are never cached.
+        """
+        key = content_hash(source)
+        tree = self._memory.get(key)
+        if tree is not None:
+            self.hits += 1
+            return tree
+        if self.cache_dir:
+            tree = self._disk_load(key)
+            if tree is not None:
+                self.hits += 1
+                self._memory[key] = tree
+                return tree
+        self.misses += 1
+        tree = ast.parse(source, filename=filename)
+        self._memory[key] = tree
+        if self.cache_dir:
+            self._disk_store(key, tree)
+        return tree
+
+    # -- disk tier ------------------------------------------------------
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir or "", key + ".ast.pkl")
+
+    def _disk_load(self, key: str) -> Optional[ast.Module]:
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as handle:
+                fmt, tree = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError):
+            return None
+        if fmt != _DISK_FORMAT or not isinstance(tree, ast.Module):
+            return None
+        return tree
+
+    def _disk_store(self, key: str, tree: ast.Module) -> None:
+        path = self._disk_path(key)
+        try:
+            with open(path, "wb") as handle:
+                pickle.dump((_DISK_FORMAT, tree), handle)
+        except (OSError, pickle.PicklingError, RecursionError):
+            # A cache that cannot write is just a slow cache.
+            pass
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "memory_entries": len(self._memory)}

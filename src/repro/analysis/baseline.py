@@ -1,0 +1,129 @@
+"""The ratchet baseline: deep rules land without a tree-wide cleanup.
+
+The whole-program rules (DET1xx, LANE0xx) inventory real, pre-existing
+properties of the tree — today's architecture *intentionally* shares one
+loop/network/SAN across nodes, and that inventory is the input to the
+parallel-lanes refactor, not a cleanup blocker. So known findings are
+recorded in a committed baseline (``benchmarks/analysis/
+BASELINE_lint.json``) and only **new** findings fail CI; fixing a
+finding and re-recording shrinks the file — the ratchet only turns one
+way.
+
+Fingerprints are stable across unrelated edits: they hash
+``(code, source file, message, ordinal)`` — *not* the line number — so
+inserting a docstring above a finding does not churn the baseline.
+``ordinal`` disambiguates identical findings in one file by their
+line-sorted position.
+
+Etiquette for ``python -m repro lint --update-baseline``:
+
+* fixing findings → re-record freely (the file shrinks);
+* adding findings → justify in the PR why the new shared state /
+  taint flow is sound, same bar as a suppression comment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "default_baseline_path",
+    "fingerprint_diagnostics",
+    "load_baseline",
+    "split_by_baseline",
+    "write_baseline",
+]
+
+#: Where the committed ratchet baseline lives, relative to the repo root
+#: (= the CI working directory).
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "analysis", "BASELINE_lint.json")
+
+_FORMAT_VERSION = 1
+
+
+def default_baseline_path() -> Optional[str]:
+    """The committed baseline, when the CWD is the repo root; else None."""
+    if os.path.isfile(DEFAULT_BASELINE_PATH):
+        return DEFAULT_BASELINE_PATH
+    return None
+
+
+def fingerprint_diagnostics(
+    diagnostics: Sequence[Diagnostic],
+) -> List[Tuple[Diagnostic, str]]:
+    """Pair each diagnostic with its stable fingerprint."""
+    groups: Dict[Tuple[str, str, str], List[Diagnostic]] = {}
+    for diagnostic in diagnostics:
+        key = (diagnostic.code, diagnostic.source, diagnostic.message)
+        groups.setdefault(key, []).append(diagnostic)
+    fingerprints: Dict[int, str] = {}
+    for (code, source, message), members in groups.items():
+        members.sort(key=lambda d: (d.line, d.hint))
+        for ordinal, diagnostic in enumerate(members):
+            payload = "%s|%s|%s|%d" % (code, source, message, ordinal)
+            # each payload hashes independently, so group iteration order
+            # cannot reach the digest output
+            fingerprints[id(diagnostic)] = hashlib.sha256(  # repro: allow[DET103]
+                payload.encode("utf-8")
+            ).hexdigest()[:16]
+    return [(d, fingerprints[id(d)]) for d in diagnostics]
+
+
+def write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> Dict:
+    """Record ``diagnostics`` as the new baseline document at ``path``."""
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "code": diagnostic.code,
+            "source": diagnostic.source,
+            "line": diagnostic.line,  # advisory; not part of the fingerprint
+            "message": diagnostic.message,
+        }
+        for diagnostic, fingerprint in fingerprint_diagnostics(diagnostics)
+    ]
+    entries.sort(key=lambda e: (e["source"], e["line"], e["code"], e["fingerprint"]))
+    document = {
+        "version": _FORMAT_VERSION,
+        "tool": "repro.analysis",
+        "note": "ratchet baseline: CI fails only on findings NOT in this "
+        "file; re-record with `python -m repro lint --update-baseline`",
+        "count": len(entries),
+        "findings": entries,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The fingerprint set recorded at ``path`` (raises OSError/ValueError)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ValueError("%s is not a lint baseline document" % path)
+    return {entry["fingerprint"] for entry in document["findings"]}
+
+
+def split_by_baseline(
+    diagnostics: Sequence[Diagnostic], fingerprints: Iterable[str]
+) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """``(new, baselined)`` partition of ``diagnostics``."""
+    known = set(fingerprints)
+    new: List[Diagnostic] = []
+    baselined: List[Diagnostic] = []
+    for diagnostic, fingerprint in fingerprint_diagnostics(diagnostics):
+        if fingerprint in known:
+            baselined.append(diagnostic)
+        else:
+            new.append(diagnostic)
+    return new, baselined

@@ -1,0 +1,475 @@
+"""Whole-program module graph + call graph over a set of Python files.
+
+This is the name-resolution substrate the interprocedural passes
+(:mod:`repro.analysis.dataflow`, :mod:`repro.analysis.lanes`) stand on.
+It is deliberately a *linker*, not a type checker:
+
+* every file becomes a :class:`ModuleInfo` (dotted name derived from its
+  path relative to the lint root, so ``repro/sim/eventloop.py`` is
+  ``repro.sim.eventloop``);
+* ``import``/``from .. import`` statements — at any nesting depth, the
+  tree uses function-local imports liberally — feed a per-module alias
+  table used to resolve dotted references across files;
+* functions, classes and methods get stable qualified names
+  (``repro.sim.network.Network.send``); base classes are resolved so
+  method lookup walks the known part of the MRO;
+* ``self.attr = KnownClass(...)`` assignments record attribute types and
+  ``self.attr = known_function`` records *callable attributes* — the
+  callback-heavy event-loop/watcher style means many call edges exist
+  only through stored callables;
+* call expressions resolve to candidate :class:`FunctionInfo` targets:
+  local names, imported names, ``self``/typed-receiver methods, callable
+  attributes, and — as a last resort — a unique-method-name match over
+  the whole program (bounded by :data:`MAX_ATTR_CANDIDATES` so a common
+  name like ``run`` never fans out to everything).
+
+Everything is built from sorted file lists and insertion-ordered dicts,
+so two builds over the same tree are identical — the analyses on top
+inherit byte-stable output from here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CallResolution",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "build_program",
+    "dotted_name",
+    "module_name_for",
+]
+
+#: Upper bound on call targets resolved through a bare method-name match
+#: (no receiver type); more candidates than this means the name is too
+#: common to say anything useful about.
+MAX_ATTR_CANDIDATES = 4
+
+#: Method lookup walks at most this many base-class links.
+_MRO_DEPTH = 6
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a posix-style relative path."""
+    posix = rel_path.replace("\\", "/")
+    if posix.endswith(".py"):
+        posix = posix[:-3]
+    if posix.endswith("/__init__"):
+        posix = posix[: -len("/__init__")]
+    return posix.strip("/").replace("/", ".")
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    rel_path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    lineno: int
+    params: Tuple[str, ...]
+    class_qualname: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and inferred attribute info."""
+
+    qualname: str
+    name: str
+    module: str
+    rel_path: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Resolved base-class qualnames (known classes only).
+    bases: Tuple[str, ...] = ()
+    #: ``self.x = KnownClass(...)`` -> class qualname.
+    attr_classes: Dict[str, str] = field(default_factory=dict)
+    #: ``self.x = known_function`` -> candidate function qualnames.
+    callable_attrs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str
+    rel_path: str
+    tree: ast.Module
+    #: local alias -> dotted origin (includes function-local imports).
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level ``NAME = <expr>`` bindings: name -> (value node, line).
+    module_globals: Dict[str, Tuple[ast.AST, int]] = field(default_factory=dict)
+
+
+@dataclass
+class CallResolution:
+    """What a call expression could reach."""
+
+    display: str
+    targets: Tuple[FunctionInfo, ...] = ()
+    #: Set when the call constructs a known class (its qualname).
+    constructed_class: Optional[str] = None
+    #: True when targets came from a bare method-name match (low trust).
+    by_name_only: bool = False
+
+
+class Program:
+    """The linked module set; resolution queries live here."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.method_index: Dict[str, Tuple[str, ...]] = {}
+        self.sources: Dict[str, str] = {}
+
+    # -- module graph ---------------------------------------------------
+    def module_imports(self, module: ModuleInfo) -> Tuple[str, ...]:
+        """In-program modules ``module`` imports (the module graph edge set)."""
+        seen = []
+        for origin in module.imports.values():
+            target = self._owning_module(origin)
+            if target is not None and target.name != module.name:
+                if target.name not in seen:
+                    seen.append(target.name)
+        return tuple(sorted(seen))
+
+    def _owning_module(self, dotted: str) -> Optional[ModuleInfo]:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return self.modules[candidate]
+        return None
+
+    # -- name resolution ------------------------------------------------
+    def resolve_dotted(self, module: ModuleInfo, dotted: str) -> Optional[str]:
+        """Resolve ``dotted`` as written in ``module`` to its origin name.
+
+        Applies the module's import aliases to the chain root; the result
+        is a program-absolute dotted name (which may or may not name a
+        known entity).
+        """
+        root, _, rest = dotted.partition(".")
+        origin = module.imports.get(root)
+        if origin is None:
+            if root in module.functions:
+                origin = "%s.%s" % (module.name, root)
+            elif root in module.classes:
+                origin = "%s.%s" % (module.name, root)
+            else:
+                return dotted
+        return origin + ("." + rest if rest else "")
+
+    def lookup(self, dotted: str) -> Optional[object]:
+        """Find the :class:`FunctionInfo` / :class:`ClassInfo` named ``dotted``."""
+        if dotted in self.functions:
+            return self.functions[dotted]
+        if dotted in self.classes:
+            return self.classes[dotted]
+        owner = self._owning_module(dotted)
+        if owner is None:
+            return None
+        rest = dotted[len(owner.name) :].strip(".")
+        if not rest:
+            return None
+        head, _, tail = rest.partition(".")
+        if not tail:
+            return owner.functions.get(head) or owner.classes.get(head)
+        cls = owner.classes.get(head)
+        if cls is not None and "." not in tail:
+            return self.method_on(cls.qualname, tail)
+        return None
+
+    def method_on(self, class_qualname: str, name: str) -> Optional[FunctionInfo]:
+        """Method lookup walking the known part of the MRO."""
+        seen = set()
+        queue = [class_qualname]
+        depth = 0
+        while queue and depth < _MRO_DEPTH:
+            depth += 1
+            next_queue: List[str] = []
+            for qual in queue:
+                if qual in seen:
+                    continue
+                seen.add(qual)
+                cls = self.classes.get(qual)
+                if cls is None:
+                    continue
+                if name in cls.methods:
+                    return cls.methods[name]
+                next_queue.extend(cls.bases)
+            queue = next_queue
+        return None
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        func: ast.AST,
+        enclosing_class: Optional[str] = None,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> CallResolution:
+        """Resolve a call's ``func`` expression to candidate targets."""
+        display = dotted_name(func) or "<expr>"
+        # Plain or dotted name: route through the alias table.
+        dotted = dotted_name(func)
+        if dotted is not None:
+            resolved = self.resolve_dotted(module, dotted)
+            entity = self.lookup(resolved) if resolved else None
+            if isinstance(entity, FunctionInfo):
+                return CallResolution(display, (entity,))
+            if isinstance(entity, ClassInfo):
+                init = self.method_on(entity.qualname, "__init__")
+                targets = (init,) if init is not None else ()
+                return CallResolution(
+                    display, targets, constructed_class=entity.qualname
+                )
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            receiver = func.value
+            # self.method(...) / self.callable_attr(...)
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id == "self"
+                and enclosing_class is not None
+            ):
+                target = self.method_on(enclosing_class, attr)
+                if target is not None:
+                    return CallResolution(display, (target,))
+                cls = self.classes.get(enclosing_class)
+                if cls is not None:
+                    if attr in cls.callable_attrs:
+                        targets = tuple(
+                            self.functions[q]
+                            for q in cls.callable_attrs[attr]
+                            if q in self.functions
+                        )
+                        if targets:
+                            return CallResolution(display, targets)
+                    if attr in cls.attr_classes:
+                        # self.attr holds an instance; calling it means
+                        # __call__, which we do not model.
+                        pass
+            # self.attr.method(...) via the attribute's recorded class.
+            if (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and enclosing_class is not None
+            ):
+                cls = self.classes.get(enclosing_class)
+                if cls is not None:
+                    owner = cls.attr_classes.get(receiver.attr)
+                    if owner is not None:
+                        target = self.method_on(owner, attr)
+                        if target is not None:
+                            return CallResolution(display, (target,))
+            # typed local receiver: x = KnownClass(...); x.method(...)
+            if isinstance(receiver, ast.Name) and local_types:
+                owner = local_types.get(receiver.id)
+                if owner is not None:
+                    target = self.method_on(owner, attr)
+                    if target is not None:
+                        return CallResolution(display, (target,))
+            # Last resort: the method name is rare enough to be decisive.
+            candidates = self.method_index.get(attr, ())
+            if 0 < len(candidates) <= MAX_ATTR_CANDIDATES:
+                targets = tuple(
+                    self.functions[q] for q in candidates if q in self.functions
+                )
+                return CallResolution(display, targets, by_name_only=True)
+        return CallResolution(display)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def _param_names(node: ast.AST) -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in getattr(args, "posonlyargs", [])]
+    names.extend(a.arg for a in args.args)
+    return tuple(names)
+
+
+def _collect_imports(tree: ast.Module, imports: Dict[str, str]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                imports.setdefault(local, origin)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                origin = "%s.%s" % (base, alias.name) if base else alias.name
+                imports.setdefault(local, origin)
+
+
+def _build_module(rel_path: str, tree: ast.Module) -> ModuleInfo:
+    module = ModuleInfo(name=module_name_for(rel_path), rel_path=rel_path, tree=tree)
+    _collect_imports(tree, module.imports)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = "%s.%s" % (module.name, node.name)
+            module.functions[node.name] = FunctionInfo(
+                qualname=qual,
+                module=module.name,
+                rel_path=rel_path,
+                node=node,
+                lineno=node.lineno,
+                params=_param_names(node),
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls_qual = "%s.%s" % (module.name, node.name)
+            cls = ClassInfo(
+                qualname=cls_qual,
+                name=node.name,
+                module=module.name,
+                rel_path=rel_path,
+                node=node,
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = FunctionInfo(
+                        qualname="%s.%s" % (cls_qual, item.name),
+                        module=module.name,
+                        rel_path=rel_path,
+                        node=item,
+                        lineno=item.lineno,
+                        params=_param_names(item),
+                        class_qualname=cls_qual,
+                    )
+            module.classes[node.name] = cls
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    module.module_globals.setdefault(
+                        target.id, (node.value, node.lineno)
+                    )
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                module.module_globals.setdefault(
+                    node.target.id, (node.value, node.lineno)
+                )
+    return module
+
+
+def _link_class_details(program: Program) -> None:
+    """Second pass: bases, attribute classes, callable attributes."""
+    for module in program.modules.values():
+        for cls in module.classes.values():
+            bases: List[str] = []
+            for base in cls.node.bases:
+                dotted = dotted_name(base)
+                if dotted is None:
+                    continue
+                resolved = program.resolve_dotted(module, dotted)
+                if resolved in program.classes:
+                    bases.append(resolved)
+            cls.bases = tuple(bases)
+    for module in program.modules.values():
+        for cls in module.classes.values():
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        value = node.value
+                        if isinstance(value, ast.Call):
+                            dotted = dotted_name(value.func)
+                            if dotted is None:
+                                continue
+                            resolved = program.resolve_dotted(module, dotted)
+                            entity = program.lookup(resolved) if resolved else None
+                            if isinstance(entity, ClassInfo):
+                                cls.attr_classes.setdefault(
+                                    target.attr, entity.qualname
+                                )
+                        else:
+                            dotted = dotted_name(value)
+                            if dotted is None:
+                                continue
+                            resolved = program.resolve_dotted(module, dotted)
+                            entity = program.lookup(resolved) if resolved else None
+                            if isinstance(entity, FunctionInfo):
+                                existing = cls.callable_attrs.get(target.attr, ())
+                                if entity.qualname not in existing:
+                                    cls.callable_attrs[target.attr] = existing + (
+                                        entity.qualname,
+                                    )
+
+
+def build_program(
+    entries: Iterable[Tuple[str, str, ast.Module]],
+) -> Program:
+    """Link ``(rel_path, source, tree)`` entries into a :class:`Program`."""
+    program = Program()
+    for rel_path, source, tree in sorted(entries, key=lambda e: e[0]):
+        module = _build_module(rel_path, tree)
+        # A duplicate dotted name (two roots in one lint invocation) keeps
+        # the first module; later files still lint per-file.
+        program.modules.setdefault(module.name, module)
+        program.modules_by_path[rel_path] = module
+        program.sources[rel_path] = source
+    index: Dict[str, List[str]] = {}
+    for module in program.modules.values():
+        for func in module.functions.values():
+            program.functions[func.qualname] = func
+        for cls in module.classes.values():
+            program.classes[cls.qualname] = cls
+            for method in cls.methods.values():
+                program.functions[method.qualname] = method
+                index.setdefault(method.name, []).append(method.qualname)
+    program.method_index = {
+        name: tuple(sorted(quals)) for name, quals in sorted(index.items())
+    }
+    # Linking consults the registries just built (base-class membership,
+    # attribute typing), so it must run after they are populated.
+    _link_class_details(program)
+    return program
+
+
+def iter_functions(program: Program) -> List[FunctionInfo]:
+    """All functions in deterministic (path, line) order."""
+    return sorted(
+        program.functions.values(), key=lambda f: (f.rel_path, f.lineno, f.qualname)
+    )

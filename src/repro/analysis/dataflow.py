@@ -1,0 +1,777 @@
+"""Interprocedural taint dataflow over the call graph.
+
+The engine tracks *values* of nondeterminism — not syntax — from the
+point where entropy enters (a wall-clock read, a global-RNG draw, a
+hash-order iteration, an ``id()``/``hash()`` result, an ``os.environ``
+lookup) through assignments, arithmetic, container puts/gets, attribute
+stores, returns and call edges, until one reaches a *sink*: an event
+scheduling call, a network send, or a digest input. What the per-file
+linter (:mod:`repro.analysis.determinism`) can only catch at the source
+site, this pass follows across module boundaries and reports with the
+full source→sink step chain.
+
+Mechanics (summary-based, monotone, hence terminating):
+
+* each function is analysed locally with its parameters seeded with
+  symbolic ``param:N`` taints; a local pass produces a
+  :class:`Summary` — which real taints the function *returns*, which
+  parameters *flow through* to the return value, and which parameters
+  reach a *sink* inside the function (or transitively, inside a callee);
+* summaries propagate over call edges to a fixpoint (merges only ever
+  add entries, paths are frozen at first discovery, so the iteration is
+  bounded);
+* a final collection pass re-analyses every function against the stable
+  summaries and emits :class:`TaintFinding` records, each carrying the
+  ordered :class:`Step` chain the CLI renders under ``--explain``.
+
+What counts as a source/sink is configuration (:class:`TaintModel`),
+owned by :mod:`repro.analysis.taintrules` — this module is pure
+mechanics and knows no rule codes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (
+    CallResolution,
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+    dotted_name,
+    iter_functions,
+)
+
+__all__ = [
+    "KIND_ENV",
+    "KIND_IDHASH",
+    "KIND_ORDER",
+    "KIND_RNG",
+    "KIND_WALL",
+    "REAL_KINDS",
+    "Step",
+    "Taint",
+    "TaintFinding",
+    "TaintModel",
+    "analyze_program",
+]
+
+KIND_WALL = "wall-clock"
+KIND_RNG = "global-rng"
+KIND_ORDER = "hash-order"
+KIND_IDHASH = "id-hash"
+KIND_ENV = "environ"
+REAL_KINDS = (KIND_WALL, KIND_RNG, KIND_ORDER, KIND_IDHASH, KIND_ENV)
+
+#: Paths longer than this are truncated in the middle — enough context
+#: to act on, bounded enough to stay readable and cheap.
+_MAX_STEPS = 12
+
+#: Per-call-site fan-out cap when applying callee summaries.
+_MAX_TARGETS = 3
+
+#: Mutating container methods: a tainted argument taints the receiver.
+_CONTAINER_MUTATORS = frozenset(
+    {"append", "add", "extend", "insert", "update", "setdefault",
+     "appendleft", "push", "put"}
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One hop of a taint path."""
+
+    rel_path: str
+    line: int
+    desc: str
+
+    def format(self) -> str:
+        return "%s:%d: %s" % (self.rel_path, self.line, self.desc)
+
+
+@dataclass(frozen=True)
+class Taint:
+    """A taint kind plus the provenance chain that produced it."""
+
+    kind: str
+    steps: Tuple[Step, ...] = ()
+
+
+def _cap(steps: Sequence[Step]) -> Tuple[Step, ...]:
+    steps = tuple(steps)
+    if len(steps) <= _MAX_STEPS:
+        return steps
+    keep = _MAX_STEPS // 2
+    return steps[:keep] + steps[-keep:]
+
+
+#: A taint environment entry: kind -> Taint (first discovery wins, which
+#: freezes paths and keeps the fixpoint monotone).
+TaintSet = Dict[str, Taint]
+
+
+def _merge(dst: TaintSet, src: Optional[TaintSet]) -> bool:
+    if not src:
+        return False
+    changed = False
+    for kind, taint in src.items():
+        if kind not in dst:
+            dst[kind] = taint
+            changed = True
+    return changed
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A sink reached inside (or transitively below) one function."""
+
+    desc: str
+    rel_path: str
+    line: int
+    steps: Tuple[Step, ...]
+
+
+@dataclass
+class Summary:
+    """Interprocedural facts about one function."""
+
+    returns: Dict[str, Taint] = field(default_factory=dict)
+    #: param index -> steps accumulated on the way to the return value.
+    param_flows: Dict[int, Tuple[Step, ...]] = field(default_factory=dict)
+    #: (param index, sink identity) -> hit.
+    param_sinks: Dict[Tuple[int, str], SinkHit] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """A nondeterministic value reaching a sink, with the full path."""
+
+    kind: str
+    sink_desc: str
+    rel_path: str
+    line: int
+    function: str
+    steps: Tuple[Step, ...]
+
+
+@dataclass
+class TaintModel:
+    """Source/sink configuration (see :mod:`repro.analysis.taintrules`)."""
+
+    wall_clock: frozenset = frozenset()
+    rng_calls: frozenset = frozenset()
+    env_attrs: frozenset = frozenset()
+    env_calls: frozenset = frozenset()
+    idhash_builtins: frozenset = frozenset({"id", "hash"})
+    sink_method_names: frozenset = frozenset()
+    sink_qualname_suffixes: Tuple[str, ...] = ()
+    digest_calls: frozenset = frozenset()
+
+
+def _param_kind(index: int) -> str:
+    return "param:%d" % index
+
+
+def _is_param_kind(kind: str) -> bool:
+    return kind.startswith("param:")
+
+
+class _FunctionPass:
+    """One local abstract-interpretation pass over a function body."""
+
+    def __init__(
+        self,
+        program: Program,
+        model: TaintModel,
+        module: ModuleInfo,
+        func: FunctionInfo,
+        summaries: Dict[str, Summary],
+        collect: bool,
+    ) -> None:
+        self.program = program
+        self.model = model
+        self.module = module
+        self.func = func
+        self.summaries = summaries
+        self.collect = collect
+        self.env: Dict[str, TaintSet] = {}
+        self.local_types: Dict[str, str] = {}
+        self.local_shapes: Dict[str, str] = {}
+        self.ret: TaintSet = {}
+        self.summary = Summary()
+        self.findings: List[TaintFinding] = []
+        self._finding_keys: Set[Tuple] = set()
+
+    # -- driver ---------------------------------------------------------
+    def run(self) -> None:
+        params = self.func.params
+        for index, name in enumerate(params):
+            if self.func.is_method and index == 0:
+                continue  # taint on self is not a value flow we model
+            self.env[name] = {_param_kind(index): Taint(_param_kind(index))}
+        body = getattr(self.func.node, "body", [])
+        # Two passes so values assigned later in a loop body still reach
+        # uses earlier in it on the second sweep.
+        for _ in range(2):
+            for stmt in body:
+                self.exec_stmt(stmt)
+        for kind, taint in self.ret.items():
+            if _is_param_kind(kind):
+                index = int(kind.split(":", 1)[1])
+                self.summary.param_flows.setdefault(index, _cap(taint.steps))
+            else:
+                self.summary.returns.setdefault(kind, taint)
+
+    # -- statements -----------------------------------------------------
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            self._note_shape_and_type(stmt)
+            for target in stmt.targets:
+                self.assign(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value)
+            existing = self._load_target(stmt.target)
+            merged: TaintSet = {}
+            _merge(merged, existing)
+            _merge(merged, value)
+            self.assign(stmt.target, merged)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                _merge(self.ret, self.eval(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            self.eval(stmt.test)
+            for child in stmt.body:
+                self.exec_stmt(child)
+            for child in stmt.orelse:
+                self.exec_stmt(child)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                taints = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taints)
+            for child in stmt.body:
+                self.exec_stmt(child)
+        elif isinstance(stmt, ast.Try):
+            for child in stmt.body:
+                self.exec_stmt(child)
+            for handler in stmt.handlers:
+                for child in handler.body:
+                    self.exec_stmt(child)
+            for child in stmt.orelse:
+                self.exec_stmt(child)
+            for child in stmt.finalbody:
+                self.exec_stmt(child)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested scopes are analysed as their own entities (or not at all)
+        else:
+            # Generic recursion (match statements, deletes, ...).
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self.exec_stmt(child)
+                elif isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _exec_for(self, stmt: ast.For) -> None:
+        iter_taints: TaintSet = {}
+        _merge(iter_taints, self.eval(stmt.iter))
+        shape = self._unordered_shape(stmt.iter)
+        if shape is not None:
+            key = KIND_ORDER
+            iter_taints.setdefault(
+                key,
+                Taint(
+                    key,
+                    (
+                        Step(
+                            self.func.rel_path,
+                            stmt.iter.lineno,
+                            "iteration over %s (order depends on "
+                            "PYTHONHASHSEED/insertion history)" % shape,
+                        ),
+                    ),
+                ),
+            )
+        self.assign(stmt.target, iter_taints)
+        for child in stmt.body:
+            self.exec_stmt(child)
+        for child in stmt.orelse:
+            self.exec_stmt(child)
+
+    # -- assignment / environment --------------------------------------
+    def _note_shape_and_type(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return
+        name = stmt.targets[0].id
+        value = stmt.value
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            self.local_shapes[name] = "set"
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        ):
+            self.local_shapes[name] = "set"
+        elif isinstance(value, ast.Call):
+            resolution = self.program.resolve_call(
+                self.module, value.func, self.func.class_qualname, self.local_types
+            )
+            if resolution.constructed_class is not None:
+                self.local_types[name] = resolution.constructed_class
+
+    def assign(self, target: ast.AST, taints: TaintSet) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = dict(taints)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.assign(element, taints)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taints)
+        elif isinstance(target, ast.Attribute):
+            key = self._attr_key(target)
+            if key is not None:
+                slot = self.env.setdefault(key, {})
+                _merge(slot, taints)
+        elif isinstance(target, ast.Subscript):
+            self.eval(target.slice)
+            container = self._container_key(target.value)
+            if container is not None:
+                slot = self.env.setdefault(container, {})
+                _merge(slot, taints)
+
+    def _attr_key(self, node: ast.Attribute) -> Optional[str]:
+        dotted = dotted_name(node)
+        if dotted is not None and (
+            dotted.startswith("self.") or "." not in dotted
+        ):
+            return dotted
+        return dotted
+
+    def _container_key(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return self._attr_key(node)
+        return None
+
+    def _load_target(self, target: ast.AST) -> TaintSet:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id, {})
+        if isinstance(target, ast.Attribute):
+            key = self._attr_key(target)
+            return self.env.get(key, {}) if key else {}
+        if isinstance(target, ast.Subscript):
+            container = self._container_key(target.value)
+            return self.env.get(container, {}) if container else {}
+        return {}
+
+    # -- expressions ----------------------------------------------------
+    def eval(self, node: ast.AST) -> TaintSet:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, {})
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Subscript):
+            out: TaintSet = {}
+            _merge(out, self.eval(node.value))
+            self.eval(node.slice)
+            return out
+        if isinstance(node, ast.Constant):
+            return {}
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = {}
+            for element in node.elts:
+                _merge(out, self.eval(element))
+            return out
+        if isinstance(node, ast.Dict):
+            out = {}
+            for key in node.keys:
+                if key is not None:
+                    _merge(out, self.eval(key))
+            for value in node.values:
+                _merge(out, self.eval(value))
+            return out
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value)
+            self.assign(node.target, value)
+            return value
+        if isinstance(node, ast.Lambda):
+            return {}
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            out = {}
+            for comp in node.generators:
+                iter_taints: TaintSet = {}
+                _merge(iter_taints, self.eval(comp.iter))
+                shape = self._unordered_shape(comp.iter)
+                if shape is not None:
+                    iter_taints.setdefault(
+                        KIND_ORDER,
+                        Taint(
+                            KIND_ORDER,
+                            (
+                                Step(
+                                    self.func.rel_path,
+                                    comp.iter.lineno,
+                                    "iteration over %s (order depends on "
+                                    "PYTHONHASHSEED/insertion history)" % shape,
+                                ),
+                            ),
+                        ),
+                    )
+                # Comprehension targets leak into the function env here;
+                # harmless over-approximation for an abstract pass.
+                self.assign(comp.target, iter_taints)
+                _merge(out, iter_taints)
+                for condition in comp.ifs:
+                    self.eval(condition)
+            if isinstance(node, ast.DictComp):
+                _merge(out, self.eval(node.key))
+                _merge(out, self.eval(node.value))
+            else:
+                _merge(out, self.eval(node.elt))
+            return out
+        # Default: union over child expressions (BinOp, BoolOp, Compare,
+        # IfExp, JoinedStr, Await, Starred, UnaryOp, FormattedValue...).
+        out = {}
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                _merge(out, self.eval(child))
+        return out
+
+    def _resolved_dotted(self, node: ast.AST) -> Optional[str]:
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        return self.program.resolve_dotted(self.module, dotted)
+
+    def _eval_attribute(self, node: ast.Attribute) -> TaintSet:
+        resolved = self._resolved_dotted(node)
+        if resolved in self.model.wall_clock:
+            return self._source(KIND_WALL, node, "wall-clock read %s" % resolved)
+        if resolved in self.model.env_attrs:
+            return self._source(
+                KIND_ENV, node, "process environment read (%s)" % resolved
+            )
+        key = self._attr_key(node)
+        if key is not None and key in self.env:
+            return self.env[key]
+        # Receiver taint flows through attribute access (container-ish).
+        return self.eval(node.value)
+
+    def _source(self, kind: str, node: ast.AST, desc: str) -> TaintSet:
+        return {
+            kind: Taint(
+                kind, (Step(self.func.rel_path, getattr(node, "lineno", 0), desc),)
+            )
+        }
+
+    def _unordered_shape(self, node: ast.AST) -> Optional[str]:
+        while (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "reversed", "enumerate")
+            and node.args
+        ):
+            node = node.args[0]
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set expression"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return "%s()" % node.func.id
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "keys",
+                "values",
+                "items",
+            ):
+                return "dict.%s()" % node.func.attr
+        if isinstance(node, ast.Name) and self.local_shapes.get(node.id) == "set":
+            return "set %r" % node.id
+        return None
+
+    # -- calls ----------------------------------------------------------
+    def _eval_call(self, node: ast.Call) -> TaintSet:
+        arg_taints: List[TaintSet] = [self.eval(arg) for arg in node.args]
+        kw_taints: List[Tuple[Optional[str], TaintSet]] = [
+            (kw.arg, self.eval(kw.value)) for kw in node.keywords
+        ]
+        result: TaintSet = {}
+
+        resolved = self._resolved_dotted(node.func)
+        # Sources -------------------------------------------------------
+        if resolved in self.model.wall_clock:
+            return self._source(KIND_WALL, node, "call to %s()" % resolved)
+        if resolved in self.model.rng_calls:
+            return self._source(
+                KIND_RNG, node, "draw from process-global RNG %s()" % resolved
+            )
+        if resolved in self.model.env_calls:
+            return self._source(
+                KIND_ENV, node, "process environment read %s()" % resolved
+            )
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self.model.idhash_builtins
+            and node.args
+        ):
+            taints = self._source(
+                KIND_IDHASH,
+                node,
+                "%s() of an object — value varies across runs" % node.func.id,
+            )
+            for arg_taint in arg_taints:
+                _merge(taints, arg_taint)
+            return taints
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "next"
+            and len(node.args) >= 1
+            and isinstance(node.args[0], ast.Call)
+            and isinstance(node.args[0].func, ast.Name)
+            and node.args[0].func.id == "iter"
+            and node.args[0].args
+            and self._unordered_shape(node.args[0].args[0]) is not None
+        ):
+            shape = self._unordered_shape(node.args[0].args[0])
+            return self._source(
+                KIND_ORDER, node, "next(iter(%s)) — first element is hash-order" % shape
+            )
+
+        resolution = self.program.resolve_call(
+            self.module, node.func, self.func.class_qualname, self.local_types
+        )
+
+        # Sinks ---------------------------------------------------------
+        sink = self._sink_label(node, resolved, resolution)
+        if sink is not None:
+            self._check_sink(node, sink, arg_taints, kw_taints)
+
+        # Known callees: apply summaries --------------------------------
+        applied = False
+        if resolution.targets:
+            for target in resolution.targets[:_MAX_TARGETS]:
+                if self._apply_summary(node, target, arg_taints, kw_taints, result):
+                    applied = True
+
+        # Container mutators taint the receiver -------------------------
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _CONTAINER_MUTATORS:
+                receiver = self._container_key(node.func.value)
+                if receiver is not None:
+                    slot = self.env.setdefault(receiver, {})
+                    for arg_taint in arg_taints:
+                        _merge(slot, arg_taint)
+                    for _, kw_taint in kw_taints:
+                        _merge(slot, kw_taint)
+
+        # Unknown callee: conservative propagation ----------------------
+        if not applied:
+            for arg_taint in arg_taints:
+                _merge(result, arg_taint)
+            for _, kw_taint in kw_taints:
+                _merge(result, kw_taint)
+            if isinstance(node.func, ast.Attribute):
+                _merge(result, self.eval(node.func.value))
+        return result
+
+    def _sink_label(
+        self,
+        node: ast.Call,
+        resolved: Optional[str],
+        resolution: CallResolution,
+    ) -> Optional[str]:
+        if resolved is not None and resolved in self.model.digest_calls:
+            return "digest input %s()" % resolved
+        for target in resolution.targets:
+            for suffix in self.model.sink_qualname_suffixes:
+                if target.qualname.endswith(suffix):
+                    return suffix
+        name = None
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        if name in self.model.sink_method_names:
+            return "%s()" % name
+        return None
+
+    def _check_sink(
+        self,
+        node: ast.Call,
+        sink: str,
+        arg_taints: List[TaintSet],
+        kw_taints: List[Tuple[Optional[str], TaintSet]],
+    ) -> None:
+        line = node.lineno
+        sink_step = Step(
+            self.func.rel_path, line, "reaches sink %s" % sink
+        )
+        labelled: List[Tuple[str, TaintSet]] = [
+            ("argument %d" % (i + 1), taints) for i, taints in enumerate(arg_taints)
+        ]
+        labelled.extend(
+            ("argument %r" % kw_name if kw_name else "argument **", taints)
+            for kw_name, taints in kw_taints
+        )
+        for arg_label, taints in labelled:
+            for kind, taint in taints.items():
+                steps = _cap(tuple(taint.steps) + (sink_step,))
+                if _is_param_kind(kind):
+                    index = int(kind.split(":", 1)[1])
+                    identity = "%s@%d/%s" % (sink, line, arg_label)
+                    self.summary.param_sinks.setdefault(
+                        (index, identity),
+                        SinkHit(sink, self.func.rel_path, line, steps),
+                    )
+                else:
+                    self._emit(kind, sink, self.func.rel_path, line, steps)
+
+    def _apply_summary(
+        self,
+        node: ast.Call,
+        target: FunctionInfo,
+        arg_taints: List[TaintSet],
+        kw_taints: List[Tuple[Optional[str], TaintSet]],
+        result: TaintSet,
+    ) -> bool:
+        summary = self.summaries.get(target.qualname)
+        if summary is None:
+            return False
+        offset = 0
+        if target.is_method and isinstance(node.func, ast.Attribute):
+            offset = 1  # receiver occupies param 0
+        # Positional + keyword mapping onto the callee's parameter list.
+        mapped: List[Tuple[int, TaintSet]] = []
+        for i, taints in enumerate(arg_taints):
+            mapped.append((i + offset, taints))
+        for kw_name, taints in kw_taints:
+            if kw_name is not None and kw_name in target.params:
+                mapped.append((target.params.index(kw_name), taints))
+        call_site = Step(
+            self.func.rel_path,
+            node.lineno,
+            "passed to %s() [%s]" % (resolution_label(target), target.rel_path),
+        )
+        for param_index, taints in mapped:
+            if not taints:
+                continue
+            for (sink_param, _identity), hit in summary.param_sinks.items():
+                if sink_param != param_index:
+                    continue
+                for kind, taint in taints.items():
+                    steps = _cap(tuple(taint.steps) + (call_site,) + hit.steps)
+                    if _is_param_kind(kind):
+                        index = int(kind.split(":", 1)[1])
+                        identity = "%s@%s:%d" % (hit.desc, hit.rel_path, hit.line)
+                        self.summary.param_sinks.setdefault(
+                            (index, identity),
+                            SinkHit(hit.desc, hit.rel_path, hit.line, steps),
+                        )
+                    else:
+                        self._emit(kind, hit.desc, hit.rel_path, hit.line, steps)
+            if param_index in summary.param_flows:
+                through = Step(
+                    self.func.rel_path,
+                    node.lineno,
+                    "flows through %s()" % resolution_label(target),
+                )
+                for kind, taint in taints.items():
+                    result.setdefault(kind, Taint(kind, _cap(tuple(taint.steps) + (through,))))
+        for kind, taint in summary.returns.items():
+            return_step = Step(
+                self.func.rel_path,
+                node.lineno,
+                "returned by %s()" % resolution_label(target),
+            )
+            result.setdefault(kind, Taint(kind, _cap(tuple(taint.steps) + (return_step,))))
+        return True
+
+    def _emit(
+        self, kind: str, sink_desc: str, rel_path: str, line: int, steps: Tuple[Step, ...]
+    ) -> None:
+        if not self.collect:
+            return
+        key = (kind, sink_desc, rel_path, line, steps[0] if steps else None)
+        if key in self._finding_keys:
+            return
+        self._finding_keys.add(key)
+        self.findings.append(
+            TaintFinding(
+                kind=kind,
+                sink_desc=sink_desc,
+                rel_path=rel_path,
+                line=line,
+                function=self.func.qualname,
+                steps=steps,
+            )
+        )
+
+
+def resolution_label(target: FunctionInfo) -> str:
+    """Short human label for a resolved callee."""
+    if target.class_qualname is not None:
+        cls = target.class_qualname.rsplit(".", 1)[-1]
+        return "%s.%s" % (cls, target.name)
+    return target.name
+
+
+def _summary_size(summary: Summary) -> Tuple[int, int, int]:
+    return (
+        len(summary.returns),
+        len(summary.param_flows),
+        len(summary.param_sinks),
+    )
+
+
+def analyze_program(
+    program: Program, model: TaintModel, max_iterations: int = 6
+) -> List[TaintFinding]:
+    """Run the taint analysis to fixpoint; return deterministic findings."""
+    functions = iter_functions(program)
+    summaries: Dict[str, Summary] = {f.qualname: Summary() for f in functions}
+    for _ in range(max_iterations):
+        changed = False
+        for func in functions:
+            module = program.modules_by_path.get(func.rel_path)
+            if module is None:
+                continue
+            analysis = _FunctionPass(program, model, module, func, summaries, False)
+            analysis.run()
+            old = summaries[func.qualname]
+            new = analysis.summary
+            # Monotone merge: only additions can happen.
+            before = _summary_size(old)
+            for kind, taint in new.returns.items():
+                old.returns.setdefault(kind, taint)
+            for index, steps in new.param_flows.items():
+                old.param_flows.setdefault(index, steps)
+            for key, hit in new.param_sinks.items():
+                old.param_sinks.setdefault(key, hit)
+            if _summary_size(old) != before:
+                changed = True
+        if not changed:
+            break
+    findings: List[TaintFinding] = []
+    for func in functions:
+        module = program.modules_by_path.get(func.rel_path)
+        if module is None:
+            continue
+        analysis = _FunctionPass(program, model, module, func, summaries, True)
+        analysis.run()
+        findings.extend(analysis.findings)
+    findings.sort(key=lambda f: (f.rel_path, f.line, f.kind, f.sink_desc, f.function))
+    return findings

@@ -1,9 +1,14 @@
-"""Sim-safety determinism linter: the DET rule family.
+"""Sim-safety determinism linter: the per-file DET rule family
+(DET001–DET007).
 
 The whole reproduction runs on virtual time (:mod:`repro.sim.clock`) and
 seeded random streams (:mod:`repro.sim.rng`); chaos-campaign replay and
 the pinned trace digests depend on that discipline byte-for-byte. These
-AST rules turn the convention into a checkable contract:
+AST rules turn the convention into a checkable contract. They are the
+*syntactic* tier: the interprocedural DET1xx taint rules
+(:mod:`repro.analysis.taintrules`) and the LANE0xx lane-safety rules
+(:mod:`repro.analysis.lanes`) build on the same diagnostics model but
+run whole-program via :func:`repro.analysis.engine.analyze_paths`.
 
 ``DET001`` wall-clock reads (``time.time``, ``datetime.now`` ...) outside
 the virtual clock. Both calls *and* bare references are flagged — stashing
@@ -36,6 +41,10 @@ measurement instrument the other rules protect, so it may not even
 *carry* an opt-out; directives found there are reported and **void** —
 the findings they would have hidden are still emitted.
 
+``DET007`` a suppression directive naming a rule code that does not
+exist in any catalogue (DET/DET1xx/LANE/VER) — usually a typo that would
+otherwise silently suppress nothing; diagnosed, never fatal.
+
 Suppression syntax lives in :mod:`repro.analysis.suppressions`; the rule
 catalogue with examples is docs/ANALYSIS.md.
 """
@@ -59,7 +68,20 @@ DET_RULES: Dict[str, str] = {
     "DET004": "id() used in an ordering context",
     "DET005": "thread/async primitives inside the deterministic sim",
     "DET006": "suppression directive inside a suppression-free zone",
+    "DET007": "suppression directive names an unknown rule code",
 }
+
+
+def _known_rule_codes() -> Set[str]:
+    """Every catalogued code, across all engines (for DET007 validation).
+
+    Imported lazily: the sibling rule modules depend on this one.
+    """
+    from repro.analysis.bundles import VER_RULES
+    from repro.analysis.lanes import LANE_RULES
+    from repro.analysis.taintrules import TAINT_RULES
+
+    return set(DET_RULES) | set(TAINT_RULES) | set(LANE_RULES) | set(VER_RULES)
 
 #: Files (posix path suffixes) allowed to break a rule by design.
 PATH_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
@@ -419,6 +441,9 @@ class LintResult:
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
     files: List[str] = field(default_factory=list)
+    #: The linked whole-program model, when the deep tier ran
+    #: (:func:`repro.analysis.engine.analyze_paths` fills it in).
+    program: Optional[object] = None
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -437,27 +462,52 @@ def lint_source(
     source: str,
     rel_path: str,
     select: Optional[Iterable[str]] = None,
+    tree: Optional[ast.Module] = None,
 ) -> List[Diagnostic]:
-    """Lint one module's text; ``rel_path`` is the reported source label."""
+    """Lint one module's text; ``rel_path`` is the reported source label.
+
+    ``tree`` lets callers that already parsed the file (the engine's
+    AST cache) skip the second parse; behaviour is identical.
+    """
     selected = {c.upper() for c in select} if select is not None else None
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                code="DET000",
-                severity=Severity.ERROR,
-                source=rel_path,
-                line=exc.lineno or 0,
-                message="file could not be parsed: %s" % exc.msg,
-            )
-        ]
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    code="DET000",
+                    severity=Severity.ERROR,
+                    source=rel_path,
+                    line=exc.lineno or 0,
+                    message="file could not be parsed: %s" % exc.msg,
+                )
+            ]
     visitor = _FileVisitor(rel_path, selected)
     visitor.visit(tree)
     suppressions = scan_suppressions(source)
+    known_codes = _known_rule_codes()
+    unknown_code_diagnostics: List[Diagnostic] = []
+    if selected is None or "DET007" in selected:
+        for line, kind, codes in suppressions.directives:
+            unknown = sorted(set(codes) - known_codes)
+            if unknown:
+                unknown_code_diagnostics.append(
+                    Diagnostic(
+                        code="DET007",
+                        severity=Severity.WARNING,
+                        source=rel_path,
+                        line=line,
+                        message="%s[...] directive names unknown rule code%s %s"
+                        % (kind, "s" if len(unknown) > 1 else "",
+                           ", ".join(unknown)),
+                        hint="see `python -m repro lint --list-rules` for the "
+                        "catalogue; a typo here suppresses nothing",
+                    )
+                )
     if _in_suppression_free_zone(rel_path):
         # Directives here are void: report each one and keep every finding.
-        diagnostics = list(visitor.diagnostics)
+        diagnostics = list(visitor.diagnostics) + unknown_code_diagnostics
         if selected is None or "DET006" in selected:
             for line, kind, codes in suppressions.directives:
                 diagnostics.append(
@@ -475,7 +525,7 @@ def lint_source(
         return diagnostics
     return [
         diagnostic
-        for diagnostic in visitor.diagnostics
+        for diagnostic in visitor.diagnostics + unknown_code_diagnostics
         if not suppressions.is_suppressed(diagnostic.code, diagnostic.line)
     ]
 

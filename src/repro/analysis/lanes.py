@@ -1,0 +1,450 @@
+"""LANE0xx — lane-safety escape analysis for the parallel-lanes refactor.
+
+ROADMAP item 5 partitions the one global :class:`~repro.sim.eventloop.
+EventLoop` into per-node/per-shard event *lanes* that execute
+independently between synchronization points. That refactor is only
+byte-identical-safe when no two lanes mutate the same Python object
+outside the lane protocol — so this analyzer inventories exactly the
+state that violates that:
+
+``LANE001`` **module-level mutable state** (a dict/list/set/deque bound
+at module scope) that function code actually mutates. Module globals are
+process-wide: every lane sees the same object, and mutation order
+becomes lane-scheduling order. Read-only tables are fine and are not
+flagged; the rule requires a witnessed mutation site (same module, or
+another module that imported the name — the trace lists the sites).
+
+``LANE002`` **class-level mutable attributes** mutated through
+``self`` without ever being rebound per-instance — one object shared by
+every instance of the class, i.e. by every node that instantiates it.
+
+``LANE003`` **cross-node object sharing**: one mutable object passed
+into two or more ``Node``/shard-context constructions (two explicit
+calls sharing an argument, or a construction inside a loop closing over
+a variable bound outside it). This is today's *intended* architecture —
+one loop, one network, one SAN shared by every node — which is precisely
+why the lanes refactor needs the machine-checked inventory: each hit is
+an object the lane boundary must either replicate, partition, or own.
+
+All three are **warnings** recorded in the ratchet baseline
+(``benchmarks/analysis/BASELINE_lint.json``): the inventory may only
+shrink, and anything *new* fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+    dotted_name,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["LANE_RULES", "NODE_CONTEXT_CLASS_NAMES", "run_lane_rules"]
+
+#: Rule catalogue: code -> one-line summary (mirrored in docs/ANALYSIS.md).
+LANE_RULES: Dict[str, str] = {
+    "LANE001": "module-level mutable state mutated at runtime (lane-shared)",
+    "LANE002": "class-level mutable attribute mutated via self (instance-shared)",
+    "LANE003": "one object shared across multiple Node/shard contexts",
+}
+
+#: Class names that constitute a node/shard execution context; one
+#: object reaching two of their constructions is cross-lane sharing.
+NODE_CONTEXT_CLASS_NAMES = frozenset({"Node", "DirectorCluster"})
+
+#: Constructors/literals producing mutable containers.
+_MUTABLE_CTORS = frozenset(
+    {"dict", "list", "set", "bytearray", "deque", "defaultdict",
+     "Counter", "OrderedDict"}
+)
+
+#: Methods that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {"add", "append", "appendleft", "clear", "discard", "extend", "insert",
+     "pop", "popitem", "popleft", "remove", "setdefault", "update"}
+)
+
+_MAX_TRACE_SITES = 6
+
+
+def _is_mutable_value(node: ast.AST) -> Optional[str]:
+    """Container-ish shape of a module/class-level value, or None."""
+    if isinstance(node, ast.Dict) or isinstance(node, ast.DictComp):
+        return "dict"
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        name = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name in _MUTABLE_CTORS:
+            return name
+    return None
+
+
+def _binding_names(target: ast.AST) -> Set[str]:
+    """Names a target expression *binds* (never Subscript/Attribute roots:
+    ``X[k] = v`` mutates ``X``, it does not bind a local ``X``)."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, ast.Starred):
+        return _binding_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: Set[str] = set()
+        for element in target.elts:
+            out |= _binding_names(element)
+        return out
+    return set()
+
+
+def _bound_names(func_node: ast.AST) -> Set[str]:
+    """Names the function binds locally (params, assignments, loops...)."""
+    bound: Set[str] = set()
+    args = func_node.args
+    for group in (getattr(args, "posonlyargs", []), args.args, args.kwonlyargs):
+        bound.update(a.arg for a in group)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    globals_declared: Set[str] = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            globals_declared.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                bound |= _binding_names(target)
+        elif isinstance(node, ast.For):
+            bound |= _binding_names(node.target)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bound |= _binding_names(item.optional_vars)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.comprehension):
+            bound |= _binding_names(node.target)
+    return bound - globals_declared
+
+
+def _matches_reference(node: ast.AST, reference: Tuple[str, ...]) -> bool:
+    """Does ``node`` spell the (possibly dotted) ``reference`` chain?"""
+    dotted = dotted_name(node)
+    return dotted is not None and tuple(dotted.split(".")) == reference
+
+
+def _mutation_sites(
+    func: FunctionInfo, reference: Tuple[str, ...], skip_local: bool = True
+) -> List[Tuple[int, str]]:
+    """Lines in ``func`` that mutate the object named by ``reference``."""
+    root = reference[0]
+    if skip_local and root != "self" and root in _bound_names(func.node):
+        return []  # a local shadows the global; not a mutation of it
+    sites: List[Tuple[int, str]] = []
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS and _matches_reference(
+                node.func.value, reference
+            ):
+                sites.append((node.lineno, ".%s(...)" % node.func.attr))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and _matches_reference(
+                    target.value, reference
+                ):
+                    sites.append((node.lineno, "[...] assignment"))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and _matches_reference(
+                    target.value, reference
+                ):
+                    sites.append((node.lineno, "del [...]"))
+    return sites
+
+
+def _module_functions(module: ModuleInfo) -> List[FunctionInfo]:
+    out = list(module.functions.values())
+    for cls in module.classes.values():
+        out.extend(cls.methods.values())
+    return sorted(out, key=lambda f: (f.lineno, f.qualname))
+
+
+# ----------------------------------------------------------------------
+# LANE001 — module-level mutable state
+# ----------------------------------------------------------------------
+def _lane001(program: Program) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for module_name in sorted(program.modules):
+        module = program.modules[module_name]
+        for name in sorted(module.module_globals):
+            value, lineno = module.module_globals[name]
+            shape = _is_mutable_value(value)
+            if shape is None:
+                continue
+            sites: List[Tuple[str, int, str]] = []
+            # Same-module mutations (incl. rebinding via `global`).
+            for func in _module_functions(module):
+                for line, how in _mutation_sites(func, (name,)):
+                    sites.append((module.rel_path, line, "%s%s" % (name, how)))
+                for node in ast.walk(func.node):
+                    if isinstance(node, ast.Global) and name in node.names:
+                        sites.append(
+                            (module.rel_path, node.lineno, "rebound via global %s" % name)
+                        )
+                        break
+            # Cross-module mutations through imports.
+            origin_attr = "%s.%s" % (module.name, name)
+            for other_name in sorted(program.modules):
+                if other_name == module_name:
+                    continue
+                other = program.modules[other_name]
+                references: List[Tuple[str, ...]] = []
+                for local, origin in other.imports.items():
+                    if origin == origin_attr:
+                        references.append((local,))
+                    elif origin == module.name:
+                        references.append((local, name))
+                for reference in references:
+                    for func in _module_functions(other):
+                        for line, how in _mutation_sites(func, reference):
+                            sites.append(
+                                (
+                                    other.rel_path,
+                                    line,
+                                    "%s%s" % (".".join(reference), how),
+                                )
+                            )
+            if not sites:
+                continue
+            sites = sorted(set(sites))[:_MAX_TRACE_SITES]
+            diagnostics.append(
+                Diagnostic(
+                    code="LANE001",
+                    severity=Severity.WARNING,
+                    source=module.rel_path,
+                    line=lineno,
+                    message="module-level %s %r is mutated at runtime from %d "
+                    "site(s) — every event lane shares this object"
+                    % (shape, name, len(sites)),
+                    hint="move the state into an injected per-lane object, or "
+                    "freeze it; see docs/ANALYSIS.md (LANE rules)",
+                    trace=tuple(
+                        "%s:%d: mutation %s" % site for site in sites
+                    ),
+                )
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# LANE002 — class-level mutable attributes
+# ----------------------------------------------------------------------
+def _lane002(program: Program) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for class_qual in sorted(program.classes):
+        cls = program.classes[class_qual]
+        class_attrs: Dict[str, Tuple[str, int]] = {}
+        for node in cls.node.body:
+            if isinstance(node, ast.Assign):
+                shape = _is_mutable_value(node.value)
+                if shape is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        class_attrs[target.id] = (shape, node.lineno)
+        if not class_attrs:
+            continue
+        rebound: Set[str] = set()
+        mutated: Dict[str, List[Tuple[int, str]]] = {}
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and target.attr in class_attrs
+                        ):
+                            rebound.add(target.attr)
+            for attr in class_attrs:
+                for line, how in _mutation_sites(
+                    method, ("self", attr), skip_local=False
+                ):
+                    mutated.setdefault(attr, []).append((line, how))
+        for attr in sorted(mutated):
+            if attr in rebound:
+                continue  # per-instance rebinding makes it instance state
+            shape, lineno = class_attrs[attr]
+            sites = sorted(set(mutated[attr]))[:_MAX_TRACE_SITES]
+            diagnostics.append(
+                Diagnostic(
+                    code="LANE002",
+                    severity=Severity.WARNING,
+                    source=cls.rel_path,
+                    line=lineno,
+                    message="class-level %s %r of %s is mutated via self and "
+                    "never rebound — all instances (all lanes) share it"
+                    % (shape, attr, cls.name),
+                    hint="initialise it per instance in __init__ instead of "
+                    "at class scope",
+                    trace=tuple(
+                        "%s:%d: mutation self.%s%s" % (cls.rel_path, line, attr, how)
+                        for line, how in sites
+                    ),
+                )
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# LANE003 — cross-node object sharing
+# ----------------------------------------------------------------------
+def _is_node_context_call(
+    program: Program, module: ModuleInfo, node: ast.Call
+) -> Optional[str]:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    simple = dotted.rsplit(".", 1)[-1]
+    if simple not in NODE_CONTEXT_CLASS_NAMES:
+        return None
+    resolved = program.resolve_dotted(module, dotted)
+    entity = program.lookup(resolved) if resolved else None
+    if entity is not None and not isinstance(entity, ClassInfo):
+        return None  # resolved to something that is not a class
+    return simple
+
+
+def _shared_arg_names(node: ast.Call) -> List[str]:
+    """Dotted displays of argument expressions that name existing objects."""
+    out: List[str] = []
+    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+        dotted = dotted_name(arg)
+        if dotted is not None:
+            out.append(dotted)
+    return out
+
+
+class _CtorScan(ast.NodeVisitor):
+    """Collect node-context constructions with their loop nesting."""
+
+    def __init__(self, program: Program, module: ModuleInfo) -> None:
+        self.program = program
+        self.module = module
+        self.loop_bound: List[Set[str]] = []
+        #: (line, class name, arg display, bound-in-enclosing-loop?)
+        self.ctor_args: List[Tuple[int, str, str, bool]] = []
+
+    def _loop_names(self, node: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign) else [child.target]
+                )
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            elif isinstance(child, ast.For):
+                for sub in ast.walk(child.target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        return names
+
+    def visit_For(self, node: ast.For) -> None:
+        self.loop_bound.append(self._loop_names(node))
+        self.generic_visit(node)
+        self.loop_bound.pop()
+
+    def visit_While(self, node: ast.While) -> None:
+        self.loop_bound.append(self._loop_names(node))
+        self.generic_visit(node)
+        self.loop_bound.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        context = _is_node_context_call(self.program, self.module, node)
+        if context is not None:
+            in_loop = bool(self.loop_bound)
+            bound_here: Set[str] = set()
+            for frame in self.loop_bound:
+                bound_here |= frame
+            for display in _shared_arg_names(node):
+                root = display.split(".", 1)[0]
+                loop_local = in_loop and (
+                    root in bound_here or display in bound_here
+                )
+                self.ctor_args.append((node.lineno, context, display, in_loop and not loop_local))
+        self.generic_visit(node)
+
+
+def _lane003(program: Program) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for module_name in sorted(program.modules):
+        module = program.modules[module_name]
+        for func in _module_functions(module):
+            scan = _CtorScan(program, module)
+            for stmt in getattr(func.node, "body", []):
+                scan.visit(stmt)
+            if not scan.ctor_args:
+                continue
+            by_display: Dict[str, List[Tuple[int, str, bool]]] = {}
+            for line, context, display, loop_shared in scan.ctor_args:
+                by_display.setdefault(display, []).append(
+                    (line, context, loop_shared)
+                )
+            for display in sorted(by_display):
+                uses = by_display[display]
+                distinct_lines = sorted({line for line, _, _ in uses})
+                loop_shared = any(shared for _, _, shared in uses)
+                if len(distinct_lines) < 2 and not loop_shared:
+                    continue
+                contexts = sorted({context for _, context, _ in uses})
+                how = (
+                    "constructed in a loop closing over it"
+                    if len(distinct_lines) < 2
+                    else "%d separate constructions" % len(distinct_lines)
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        code="LANE003",
+                        severity=Severity.WARNING,
+                        source=module.rel_path,
+                        line=distinct_lines[0],
+                        message="%r is shared across multiple %s context(s) in "
+                        "%s (%s) — lanes cannot own it exclusively"
+                        % (display, "/".join(contexts), func.qualname, how),
+                        hint="the parallel-lanes refactor must replicate, "
+                        "partition, or protocol-mediate this object "
+                        "(ROADMAP item 5)",
+                        trace=tuple(
+                            "%s:%d: %s(... %s ...)" % (module.rel_path, line, ctx, display)
+                            for line, ctx, _ in sorted(set(uses))[:_MAX_TRACE_SITES]
+                        ),
+                    )
+                )
+    return diagnostics
+
+
+def run_lane_rules(program: Program) -> List[Diagnostic]:
+    """LANE001–LANE003 over a linked program; deterministic order."""
+    diagnostics = _lane001(program)
+    diagnostics.extend(_lane002(program))
+    diagnostics.extend(_lane003(program))
+    return diagnostics

@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 exporter for the lint engine.
+
+``python -m repro lint --format sarif`` emits a minimal, valid SARIF
+log: one run, the full rule catalogue as ``tool.driver.rules``, one
+result per diagnostic with the ratchet fingerprint under
+``partialFingerprints`` (key ``reproAnalysis/v1``) and — for
+interprocedural findings — the source→sink trace as a ``codeFlow``.
+CI uploads the file as a workflow artifact so code-scanning UIs can
+ingest the findings without knowing anything repro-specific.
+
+Baseline state maps onto SARIF's own vocabulary: findings recorded in
+the ratchet baseline are ``"unchanged"``, anything else is ``"new"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.baseline import fingerprint_diagnostics
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["sarif_report"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_catalogue() -> List[Dict]:
+    from repro.analysis.bundles import VER_RULES
+    from repro.analysis.determinism import DET_RULES
+    from repro.analysis.lanes import LANE_RULES
+    from repro.analysis.taintrules import TAINT_RULES
+
+    catalogue: Dict[str, str] = {}
+    for table in (DET_RULES, TAINT_RULES, LANE_RULES, VER_RULES):
+        catalogue.update(table)
+    return [
+        {"id": code, "shortDescription": {"text": catalogue[code]}}
+        for code in sorted(catalogue)
+    ]
+
+
+def _location(diagnostic: Diagnostic) -> Dict:
+    physical: Dict = {"artifactLocation": {"uri": diagnostic.source}}
+    if diagnostic.line > 0:
+        physical["region"] = {"startLine": diagnostic.line}
+    return {"physicalLocation": physical}
+
+
+def _code_flow(diagnostic: Diagnostic) -> Dict:
+    locations = []
+    for step in diagnostic.trace:
+        source, _, rest = step.partition(":")
+        line_text, _, desc = rest.partition(":")
+        try:
+            line = int(line_text)
+        except ValueError:
+            source, line, desc = diagnostic.source, diagnostic.line, step
+        locations.append(
+            {
+                "location": {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": source},
+                        "region": {"startLine": max(1, line)},
+                    },
+                    "message": {"text": desc.strip() or step},
+                }
+            }
+        )
+    return {"threadFlows": [{"locations": locations}]}
+
+
+def sarif_report(
+    diagnostics: Sequence[Diagnostic],
+    baselined: Optional[Set[str]] = None,
+) -> Dict:
+    """Build the SARIF document for ``diagnostics``.
+
+    ``baselined`` is the set of fingerprints recorded in the ratchet
+    baseline; when given, each result carries a ``baselineState``.
+    """
+    results: List[Dict] = []
+    for diagnostic, fingerprint in fingerprint_diagnostics(diagnostics):
+        result: Dict = {
+            "ruleId": diagnostic.code,
+            "level": "error" if diagnostic.severity is Severity.ERROR else "warning",
+            "message": {"text": diagnostic.message},
+            "locations": [_location(diagnostic)],
+            "partialFingerprints": {"reproAnalysis/v1": fingerprint},
+        }
+        if diagnostic.hint:
+            result["message"]["markdown"] = "%s\n\n**hint:** %s" % (
+                diagnostic.message,
+                diagnostic.hint,
+            )
+        if diagnostic.trace:
+            result["codeFlows"] = [_code_flow(diagnostic)]
+        if baselined is not None:
+            result["baselineState"] = (
+                "unchanged" if fingerprint in baselined else "new"
+            )
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": _rule_catalogue(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -14,9 +14,11 @@ blanket ``allow-everything`` on purpose):
       # repro: allow-file[DET002] -- the one sanctioned Random construction site
 
 Everything after ``--`` is a free-form justification. Multiple codes
-separate with commas: ``allow[DET001,DET004]``. Findings on multi-line
-statements anchor to the statement's first line, so that is where the
-line-level comment must sit.
+separate with commas: ``allow[DET001,DET004]``. Findings anchor to the
+line of the offending *expression* — in a multi-line statement that is
+the continuation line carrying the call, so that is where the
+line-level comment must sit. Directives naming a rule code that does
+not exist suppress nothing and are themselves reported as ``DET007``.
 """
 
 from __future__ import annotations

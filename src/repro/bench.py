@@ -32,6 +32,7 @@ __all__ = [
     "compare_reports",
     "BENCHMARK_NAMES",
     "MACRO_BENCHMARK_NAMES",
+    "LINT_BENCHMARK_NAMES",
 ]
 
 BENCHMARK_NAMES = (
@@ -47,6 +48,10 @@ BENCHMARK_NAMES = (
 #: The macro suite (``--suite macro``): end-to-end scenario runs from
 #: :mod:`repro.macrobench` rather than isolated-operation timings.
 MACRO_BENCHMARK_NAMES = ("macro_million_user_day",)
+
+#: The lint suite (``--suite lint``): full-tree runs of the two-tier
+#: analysis engine, cold (fresh AST cache) and warm (content-hash hits).
+LINT_BENCHMARK_NAMES = ("lint_full_tree_cold", "lint_full_tree_warm")
 
 
 def _percentile(sorted_samples: List[int], fraction: float) -> float:
@@ -306,6 +311,51 @@ def _bench_macro_day(quick: bool) -> Dict[str, Any]:
     return report
 
 
+def _bench_lint_tree(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """Time full-tree analysis (both tiers) cold and warm.
+
+    ``lint_full_tree_cold`` parses every file from scratch each run;
+    ``lint_full_tree_warm`` reuses one content-hash-keyed
+    :class:`~repro.analysis.astcache.AstCache` across runs, isolating
+    the analysis cost from the parse cost (the delta is what CI's
+    actions/cache of the AST artifacts buys). ``ops_per_sec`` is
+    full-tree runs per second; ``meta.files_per_sec`` is the per-file
+    throughput of the same runs.
+    """
+    import os
+
+    import repro
+    from repro.analysis import AstCache, analyze_paths
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    root = os.path.dirname(package_dir)
+    iterations = 1 if quick else 3
+    warm_cache = AstCache()
+
+    def run(cache: AstCache):
+        return analyze_paths([package_dir], root=root, cache=cache)
+
+    seeded = run(warm_cache)  # file inventory + warms the shared cache
+    files = len(seeded.files)
+    findings = len(seeded.diagnostics)
+
+    entries: Dict[str, Dict[str, Any]] = {}
+    for name, cache_factory in (
+        ("lint_full_tree_cold", lambda: AstCache()),
+        ("lint_full_tree_warm", lambda: warm_cache),
+    ):
+        entry = _time_op(lambda: run(cache_factory()), iterations)
+        entry["meta"] = {
+            "files": files,
+            "findings": findings,
+            "files_per_sec": round(entry["ops_per_sec"] * files, 1),
+            "ast_cache": "warm" if name.endswith("warm") else "cold",
+        }
+        entries[name] = entry
+    entries["lint_full_tree_warm"]["meta"]["cache_stats"] = warm_cache.stats()
+    return entries
+
+
 def _metrics_snapshot() -> Dict[str, Any]:
     """Run a short telemetry-instrumented scenario and snapshot its metrics.
 
@@ -384,9 +434,10 @@ def run_suite(
     """Run the benchmarks and return the report dict (not yet serialised).
 
     ``suite`` selects ``"micro"`` (the original isolated hot-path
-    timings), ``"macro"`` (the million-user-day scenario), or ``"all"``.
+    timings), ``"macro"`` (the million-user-day scenario), ``"lint"``
+    (full-tree analysis engine timings), or ``"all"``.
     """
-    if suite not in ("micro", "macro", "all"):
+    if suite not in ("micro", "macro", "lint", "all"):
         raise ValueError("unknown suite: %r" % suite)
     report: Dict[str, Any] = {
         "revision": _revision(),
@@ -411,6 +462,12 @@ def run_suite(
             entry = _bench_macro_day(quick)
             report["macro_report"] = entry.pop("_macro_report")
             report["benchmarks"][name] = entry
+    if suite in ("lint", "all"):
+        wanted = [n for n in LINT_BENCHMARK_NAMES if not only or n in only]
+        if wanted:
+            for name, entry in _bench_lint_tree(quick).items():
+                if name in wanted:
+                    report["benchmarks"][name] = entry
     indexed = report["benchmarks"].get("registry_lookup")
     linear = report["benchmarks"].get("registry_lookup_linear_baseline")
     if indexed and linear and linear["ops_per_sec"]:
@@ -461,15 +518,16 @@ def bench_main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("micro", "macro", "all"),
+        choices=("micro", "macro", "lint", "all"),
         default="micro",
-        help="micro hot paths, the million-user-day macro scenario, or both",
+        help="micro hot paths, the million-user-day macro scenario, the "
+        "full-tree lint engine, or all of them",
     )
     parser.add_argument(
         "--only",
         default=None,
         help="comma-separated benchmark names (default: all of %s)"
-        % ",".join(BENCHMARK_NAMES + MACRO_BENCHMARK_NAMES),
+        % ",".join(BENCHMARK_NAMES + MACRO_BENCHMARK_NAMES + LINT_BENCHMARK_NAMES),
     )
     parser.add_argument(
         "--out",
@@ -500,7 +558,7 @@ def bench_main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    all_names = BENCHMARK_NAMES + MACRO_BENCHMARK_NAMES
+    all_names = BENCHMARK_NAMES + MACRO_BENCHMARK_NAMES + LINT_BENCHMARK_NAMES
     only = None
     if args.only:
         only = [n.strip() for n in args.only.split(",") if n.strip()]

@@ -1,0 +1,187 @@
+"""Call/module graph construction: name resolution across imports,
+method resolution on known classes, attribute typing."""
+
+import ast
+
+from repro.analysis.callgraph import (
+    build_program,
+    iter_functions,
+    module_name_for,
+)
+
+
+def _program(files):
+    entries = []
+    for rel_path, source in sorted(files.items()):
+        entries.append((rel_path, source, ast.parse(source)))
+    return build_program(entries)
+
+
+def test_module_name_for():
+    assert module_name_for("repro/sim/eventloop.py") == "repro.sim.eventloop"
+    assert module_name_for("pkg/__init__.py") == "pkg"
+    assert module_name_for("single.py") == "single"
+
+
+def test_functions_and_classes_are_registered():
+    program = _program(
+        {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper(x):\n    return x\n",
+            "pkg/b.py": (
+                "class Widget:\n"
+                "    def spin(self):\n"
+                "        return 1\n"
+            ),
+        }
+    )
+    assert "pkg.a.helper" in program.functions
+    assert "pkg.b.Widget" in program.classes
+    assert "pkg.b.Widget.spin" in program.functions
+    names = [f.qualname for f in iter_functions(program)]
+    assert names == sorted(names, key=lambda q: q) or len(names) == 2
+
+
+def test_from_import_resolves_to_defining_module():
+    program = _program(
+        {
+            "pkg/__init__.py": "",
+            "pkg/util.py": "def make():\n    return 1\n",
+            "pkg/user.py": (
+                "from pkg.util import make\n"
+                "def run():\n"
+                "    return make()\n"
+            ),
+        }
+    )
+    module = program.modules["pkg.user"]
+    func = program.functions["pkg.user.run"]
+    call = ast.walk(func.node)
+    call = [n for n in ast.walk(func.node) if isinstance(n, ast.Call)][0]
+    resolution = program.resolve_call(module, call.func, None, {})
+    assert resolution is not None
+    assert [t.qualname for t in resolution.targets] == ["pkg.util.make"]
+
+
+def test_import_alias_resolves():
+    program = _program(
+        {
+            "pkg/__init__.py": "",
+            "pkg/util.py": "def make():\n    return 1\n",
+            "pkg/user.py": (
+                "import pkg.util as u\n"
+                "def run():\n"
+                "    return u.make()\n"
+            ),
+        }
+    )
+    module = program.modules["pkg.user"]
+    func = program.functions["pkg.user.run"]
+    call = [n for n in ast.walk(func.node) if isinstance(n, ast.Call)][0]
+    resolution = program.resolve_call(module, call.func, None, {})
+    assert resolution is not None
+    assert [t.qualname for t in resolution.targets] == ["pkg.util.make"]
+
+
+def test_method_resolution_walks_base_classes():
+    program = _program(
+        {
+            "pkg/__init__.py": "",
+            "pkg/base.py": (
+                "class Base:\n"
+                "    def ping(self):\n"
+                "        return 0\n"
+            ),
+            "pkg/sub.py": (
+                "from pkg.base import Base\n"
+                "class Sub(Base):\n"
+                "    def pong(self):\n"
+                "        return self.ping()\n"
+            ),
+        }
+    )
+    method = program.method_on("pkg.sub.Sub", "ping")
+    assert method is not None
+    assert method.qualname == "pkg.base.Base.ping"
+
+
+def test_self_attribute_typing_resolves_attr_method_calls():
+    program = _program(
+        {
+            "pkg/__init__.py": "",
+            "pkg/engine.py": (
+                "class Engine:\n"
+                "    def start(self):\n"
+                "        return 'vroom'\n"
+            ),
+            "pkg/car.py": (
+                "from pkg.engine import Engine\n"
+                "class Car:\n"
+                "    def __init__(self):\n"
+                "        self.engine = Engine()\n"
+                "    def drive(self):\n"
+                "        return self.engine.start()\n"
+            ),
+        }
+    )
+    car = program.classes["pkg.car.Car"]
+    assert car.attr_classes.get("engine") == "pkg.engine.Engine"
+    module = program.modules["pkg.car"]
+    drive = program.functions["pkg.car.Car.drive"]
+    call = [n for n in ast.walk(drive.node) if isinstance(n, ast.Call)][0]
+    resolution = program.resolve_call(module, call.func, "pkg.car.Car", {})
+    assert resolution is not None
+    assert [t.qualname for t in resolution.targets] == ["pkg.engine.Engine.start"]
+
+
+def test_callable_attribute_tracking():
+    program = _program(
+        {
+            "pkg/__init__.py": "",
+            "pkg/cbs.py": "def on_tick():\n    return 1\n",
+            "pkg/holder.py": (
+                "from pkg.cbs import on_tick\n"
+                "class Holder:\n"
+                "    def __init__(self):\n"
+                "        self._cb = on_tick\n"
+                "    def fire(self):\n"
+                "        return self._cb()\n"
+            ),
+        }
+    )
+    holder = program.classes["pkg.holder.Holder"]
+    assert holder.callable_attrs.get("_cb") == ("pkg.cbs.on_tick",)
+    module = program.modules["pkg.holder"]
+    fire = program.functions["pkg.holder.Holder.fire"]
+    call = [n for n in ast.walk(fire.node) if isinstance(n, ast.Call)][0]
+    resolution = program.resolve_call(module, call.func, "pkg.holder.Holder", {})
+    assert resolution is not None
+    assert [t.qualname for t in resolution.targets] == ["pkg.cbs.on_tick"]
+
+
+def test_unique_method_name_fallback_is_capped():
+    # One class defines `exotic_method`: an untyped receiver still
+    # resolves to it by uniqueness of the name.
+    program = _program(
+        {
+            "pkg/__init__.py": "",
+            "pkg/impl.py": (
+                "class Impl:\n"
+                "    def exotic_method(self):\n"
+                "        return 1\n"
+            ),
+            "pkg/user.py": (
+                "def run(thing):\n"
+                "    return thing.exotic_method()\n"
+            ),
+        }
+    )
+    module = program.modules["pkg.user"]
+    run = program.functions["pkg.user.run"]
+    call = [n for n in ast.walk(run.node) if isinstance(n, ast.Call)][0]
+    resolution = program.resolve_call(module, call.func, None, {})
+    assert resolution is not None
+    assert [t.qualname for t in resolution.targets] == [
+        "pkg.impl.Impl.exotic_method"
+    ]
+    assert resolution.by_name_only

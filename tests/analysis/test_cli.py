@@ -33,7 +33,7 @@ def test_dirty_file_exits_nonzero_with_det001_in_json(dirty_file, capsys):
     exit_code = repro_main(["lint", "--format", "json", dirty_file])
     assert exit_code == 1
     report = json.loads(capsys.readouterr().out)
-    assert report["version"] == 1
+    assert report["version"] == 2
     assert report["tool"] == "repro.analysis"
     assert report["counts"]["error"] == 1
     codes = [d["code"] for d in report["diagnostics"]]

@@ -1,0 +1,222 @@
+"""Lane-safety escape analyzer LANE001-LANE003: shared mutable state that
+would break ROADMAP item 5's parallel event lanes."""
+
+from repro.analysis import analyze_paths
+
+
+def _write_pkg(tmp_path, files):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    for name, source in files.items():
+        (pkg / name).write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def _lane_findings(tmp_path, files):
+    root = _write_pkg(tmp_path, files)
+    result = analyze_paths([str(root / "pkg")], root=str(root))
+    return [d for d in result.diagnostics if d.code.startswith("LANE")]
+
+
+def test_lane001_module_global_mutated_from_two_node_modules(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "state.py": "REGISTRY = {}\n",
+            "node_a.py": (
+                "from pkg.state import REGISTRY\n"
+                "def admit(name, node):\n"
+                "    REGISTRY[name] = node\n"
+            ),
+            "node_b.py": (
+                "from pkg.state import REGISTRY\n"
+                "def evict(name):\n"
+                "    REGISTRY.pop(name, None)\n"
+            ),
+        },
+    )
+    lane001 = [d for d in findings if d.code == "LANE001"]
+    assert len(lane001) == 1
+    finding = lane001[0]
+    assert finding.source == "pkg/state.py"
+    assert finding.severity.value == "warning"
+    assert "REGISTRY" in finding.message
+    # Both mutating modules appear on the trace.
+    joined = "\n".join(finding.trace)
+    assert "pkg/node_a.py" in joined
+    assert "pkg/node_b.py" in joined
+
+
+def test_lane001_same_module_mutation_and_global_rebind(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "counter.py": (
+                "SEEN = []\n"
+                "def note(item):\n"
+                "    SEEN.append(item)\n"
+                "def reset():\n"
+                "    global SEEN\n"
+                "    SEEN = []\n"
+            ),
+        },
+    )
+    assert [d.code for d in findings] == ["LANE001"]
+
+
+def test_lane001_silent_when_only_read(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "config.py": "DEFAULTS = {'retries': 3}\n",
+            "reader.py": (
+                "from pkg.config import DEFAULTS\n"
+                "def retries():\n"
+                "    return DEFAULTS['retries']\n"
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_lane001_silent_when_local_shadows_global(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "shadow.py": (
+                "CACHE = {}\n"
+                "def local_work():\n"
+                "    CACHE = {}\n"
+                "    CACHE['x'] = 1\n"
+                "    return CACHE\n"
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_lane002_class_level_mutable_attribute(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "widget.py": (
+                "class Widget:\n"
+                "    cache = {}\n"
+                "    def put(self, key, value):\n"
+                "        self.cache[key] = value\n"
+            ),
+        },
+    )
+    lane002 = [d for d in findings if d.code == "LANE002"]
+    assert len(lane002) == 1
+    assert lane002[0].source == "pkg/widget.py"
+    assert "cache" in lane002[0].message
+
+
+def test_lane002_silent_when_rebound_per_instance(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "widget.py": (
+                "class Widget:\n"
+                "    cache = {}\n"
+                "    def __init__(self):\n"
+                "        self.cache = {}\n"
+                "    def put(self, key, value):\n"
+                "        self.cache[key] = value\n"
+            ),
+        },
+    )
+    assert [d.code for d in findings] == []
+
+
+def test_lane003_object_shared_across_two_nodes(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "nodes.py": (
+                "class Node:\n"
+                "    def __init__(self, loop, store=None):\n"
+                "        self.loop = loop\n"
+                "        self.store = store\n"
+            ),
+            "build.py": (
+                "from pkg.nodes import Node\n"
+                "def build_pair(loop):\n"
+                "    store = {}\n"
+                "    a = Node(loop, store)\n"
+                "    b = Node(loop, store)\n"
+                "    return a, b\n"
+            ),
+        },
+    )
+    lane003 = [d for d in findings if d.code == "LANE003"]
+    shared = sorted(d.message.split("'")[1] for d in lane003)
+    assert "store" in shared
+    assert "loop" in shared
+    assert all(d.source == "pkg/build.py" for d in lane003)
+
+
+def test_lane003_constructor_in_loop_closing_over_outer_object(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "nodes.py": (
+                "class Node:\n"
+                "    def __init__(self, loop):\n"
+                "        self.loop = loop\n"
+            ),
+            "build.py": (
+                "from pkg.nodes import Node\n"
+                "def build_many(loop, count):\n"
+                "    nodes = []\n"
+                "    for _ in range(count):\n"
+                "        nodes.append(Node(loop))\n"
+                "    return nodes\n"
+            ),
+        },
+    )
+    lane003 = [d for d in findings if d.code == "LANE003"]
+    assert len(lane003) == 1
+    assert "'loop'" in lane003[0].message
+    assert "loop" in lane003[0].message
+
+
+def test_lane003_silent_for_per_node_objects(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "nodes.py": (
+                "class Node:\n"
+                "    def __init__(self, store):\n"
+                "        self.store = store\n"
+            ),
+            "build.py": (
+                "from pkg.nodes import Node\n"
+                "def build_many(count):\n"
+                "    nodes = []\n"
+                "    for i in range(count):\n"
+                "        store = {}\n"
+                "        nodes.append(Node(store))\n"
+                "    return nodes\n"
+            ),
+        },
+    )
+    assert [d.code for d in findings] == []
+
+
+def test_lane003_ignores_unrelated_class_names(tmp_path):
+    findings = _lane_findings(
+        tmp_path,
+        {
+            "build.py": (
+                "class Widget:\n"
+                "    def __init__(self, loop):\n"
+                "        self.loop = loop\n"
+                "def build(loop):\n"
+                "    return Widget(loop), Widget(loop)\n"
+            ),
+        },
+    )
+    assert [d.code for d in findings] == []
