@@ -135,6 +135,13 @@ def chaos_main(argv=None) -> int:
         default=None,
         help="comma-separated fault kinds (default: all)",
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=("global", "laned"),
+        default="global",
+        help="event-loop scheduler (same seed, same run, byte for byte — "
+        "see docs/SIM.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.episodes < 1:
@@ -159,10 +166,14 @@ def chaos_main(argv=None) -> int:
         kinds=kinds,
     )
     print(
-        "repro %s — chaos campaign seed=%d episodes=%d duration=%.1fs"
-        % (__version__, args.seed, args.episodes, args.duration)
+        "repro %s — chaos campaign seed=%d episodes=%d duration=%.1fs "
+        "scheduler=%s"
+        % (__version__, args.seed, args.episodes, args.duration, args.scheduler)
     )
-    result = campaign.run()
+    from repro.sim.scheduler import use_scheduler
+
+    with use_scheduler(args.scheduler):
+        result = campaign.run()
     for episode in result.episodes:
         print(" ", episode)
         if episode.deployment:

@@ -265,7 +265,9 @@ def _bench_fig6_ipvs(iterations: int) -> Dict[str, Any]:
     return result
 
 
-def _bench_macro_day(quick: bool) -> Dict[str, Any]:
+def _bench_macro_day(
+    quick: bool, loop_scheduler: Optional[str] = None
+) -> Dict[str, Any]:
     """Run the million-user-day macro scenario and time the whole run.
 
     ``ops_per_sec`` is wall-clock *requests per second of benchmark
@@ -277,7 +279,14 @@ def _bench_macro_day(quick: bool) -> Dict[str, Any]:
     """
     from repro.macrobench import MacroConfig, MacroScenario
 
-    config = MacroConfig.smoke() if quick else MacroConfig.million_user_day()
+    overrides: Dict[str, Any] = {}
+    if loop_scheduler is not None:
+        overrides["loop_scheduler"] = loop_scheduler
+    config = (
+        MacroConfig.smoke(**overrides)
+        if quick
+        else MacroConfig.million_user_day(**overrides)
+    )
     scenario = MacroScenario(config)
     clock = time.perf_counter_ns
     start = clock()
@@ -302,6 +311,7 @@ def _bench_macro_day(quick: bool) -> Dict[str, Any]:
             "shards": config.shards,
             "servers": config.shards * config.servers_per_shard,
             "scheduler": config.scheduler,
+            "loop_scheduler": config.loop_scheduler or "global",
             "digest": result.report()["digest"],
         },
     }
@@ -430,12 +440,16 @@ def run_suite(
     quick: bool = False,
     only: Optional[List[str]] = None,
     suite: str = "micro",
+    loop_scheduler: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the benchmarks and return the report dict (not yet serialised).
 
     ``suite`` selects ``"micro"`` (the original isolated hot-path
     timings), ``"macro"`` (the million-user-day scenario), ``"lint"``
     (full-tree analysis engine timings), or ``"all"``.
+    ``loop_scheduler`` picks the event-loop scheduler for the macro
+    scenario ("global"/"laned"); wall-clock numbers may differ, the
+    deterministic macro report may not.
     """
     if suite not in ("micro", "macro", "lint", "all"):
         raise ValueError("unknown suite: %r" % suite)
@@ -459,7 +473,7 @@ def run_suite(
         for name in MACRO_BENCHMARK_NAMES:
             if only and name not in only:
                 continue
-            entry = _bench_macro_day(quick)
+            entry = _bench_macro_day(quick, loop_scheduler)
             report["macro_report"] = entry.pop("_macro_report")
             report["benchmarks"][name] = entry
     if suite in ("lint", "all"):
@@ -556,6 +570,14 @@ def bench_main(argv=None) -> int:
         help="relative ops/sec drop that counts as a regression "
         "(default: 0.15)",
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=("global", "laned"),
+        default=None,
+        help="event-loop scheduler for the macro scenario (default: the "
+        "ambient repro.sim default); the deterministic macro report is "
+        "byte-identical either way",
+    )
     args = parser.parse_args(argv)
 
     all_names = BENCHMARK_NAMES + MACRO_BENCHMARK_NAMES + LINT_BENCHMARK_NAMES
@@ -569,7 +591,12 @@ def bench_main(argv=None) -> int:
                 % (",".join(unknown), ",".join(all_names))
             )
 
-    report = run_suite(quick=args.quick, only=only, suite=args.suite)
+    report = run_suite(
+        quick=args.quick,
+        only=only,
+        suite=args.suite,
+        loop_scheduler=args.scheduler,
+    )
     path = args.out or ("BENCH_%s.json" % report["revision"])
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -8,14 +8,21 @@ from repro.cluster.node import Node, NodeState
 from repro.cluster.spec import CostModel, NodeSpec
 from repro.gcs.directory import GroupDirectory
 from repro.sim.clock import Clock
-from repro.sim.eventloop import EventLoop
 from repro.sim.network import Network
 from repro.sim.rng import RngStreams
+from repro.sim.scheduler import make_loop
 from repro.storage.san import SharedStore
 
 
 class Cluster:
-    """A set of nodes sharing network, SAN, group directory and clock."""
+    """A set of nodes sharing network, SAN, group directory and clock.
+
+    ``scheduler`` selects the event-loop implementation: ``"global"``
+    (one heap) or ``"laned"`` (one event lane per node; see
+    ``docs/SIM.md``). ``None`` uses the ambient default from
+    :mod:`repro.sim.scheduler`. Same seed, same run either way — the
+    parity harness enforces it.
+    """
 
     def __init__(
         self,
@@ -27,9 +34,10 @@ class Cluster:
         costs: Optional[CostModel] = None,
         monitoring_mode: str = "jsr284",
         monitoring_interval: float = 1.0,
+        scheduler: Optional[str] = None,
     ) -> None:
         self.rng = RngStreams(seed)
-        self.loop = EventLoop(Clock())
+        self.loop = make_loop(Clock(), scheduler)
         self.network = Network(
             self.loop, self.rng, latency=latency, jitter=jitter, loss_rate=loss_rate
         )
@@ -62,24 +70,33 @@ class Cluster:
     ) -> Node:
         if node_id in self._nodes:
             raise ValueError("node %r already exists" % node_id)
-        node = Node(
-            node_id,
-            self.loop,
-            self.network,
-            self.store,
-            self.directory,
-            spec=spec if spec is not None else self.spec,
-            costs=self.costs,
-            rng=self.rng,
-            monitoring_mode=monitoring_mode or self.monitoring_mode,
-            monitoring_interval=self.monitoring_interval,
-        )
+        # Each node owns one event lane; anything the constructor
+        # schedules (monitors, timers) lands in the node's lane. On the
+        # global scheduler both calls are no-ops.
+        lane = self.loop.register_lane(node_id)
+        with self.loop.lane_scope(lane):
+            node = Node(
+                node_id,
+                self.loop,
+                self.network,
+                self.store,
+                self.directory,
+                spec=spec if spec is not None else self.spec,
+                costs=self.costs,
+                rng=self.rng,
+                monitoring_mode=monitoring_mode or self.monitoring_mode,
+                monitoring_interval=self.monitoring_interval,
+            )
         self._nodes[node_id] = node
         return node
 
     def boot_all(self) -> None:
         """Boot every OFF node and run the loop until all are up."""
-        pending = [n.boot() for n in self.nodes() if n.state == NodeState.OFF]
+        pending = []
+        for node in self.nodes():
+            if node.state == NodeState.OFF:
+                with self.loop.lane_scope(self.loop.lane_of_node(node.node_id)):
+                    pending.append(node.boot())
         self.run_until_settled(pending)
 
     # ------------------------------------------------------------------

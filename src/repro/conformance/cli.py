@@ -54,6 +54,13 @@ def conform_main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, help="write the JSON verdict to this path"
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=("global", "laned"),
+        default="global",
+        help="event-loop scheduler (same seed, same verdict, byte for "
+        "byte — see docs/SIM.md)",
+    )
     args = parser.parse_args(argv)
     if args.episodes < 1:
         parser.error("--episodes must be at least 1")
@@ -70,10 +77,14 @@ def conform_main(argv=None) -> int:
         conformance=True,
     )
     print(
-        "repro %s — conformance campaign seed=%d scenario=%s episodes=%d"
-        % (__version__, args.seed, args.scenario, args.episodes)
+        "repro %s — conformance campaign seed=%d scenario=%s episodes=%d "
+        "scheduler=%s"
+        % (__version__, args.seed, args.scenario, args.episodes, args.scheduler)
     )
-    result = campaign.run()
+    from repro.sim.scheduler import use_scheduler
+
+    with use_scheduler(args.scheduler):
+        result = campaign.run()
     document = campaign_verdict(result, scenario=args.scenario)
     for episode, entry in zip(result.episodes, document["episodes"]):
         print(

@@ -31,8 +31,8 @@ from typing import Any, Dict, List, Optional
 from repro.ipvs.addressing import IpEndpoint
 from repro.ipvs.hashring import ConsistentHashRing
 from repro.ipvs.server import DirectorCluster, Request
-from repro.sim.eventloop import EventLoop
 from repro.sim.rng import RngStreams
+from repro.sim.scheduler import make_loop
 from repro.workloads.arrivals import DiurnalProfile, OpenLoopArrivals
 
 __all__ = ["MacroConfig", "MacroResult", "MacroScenario"]
@@ -58,6 +58,11 @@ class MacroConfig:
     #: Scheduler discipline per shard service: "lc" (naive scan) or
     #: "lc-bucketed" (O(1) connection-count buckets).
     scheduler: str = "lc"
+    #: Event-loop scheduler: "global", "laned", or None for the ambient
+    #: default (:mod:`repro.sim.scheduler`). Deliberately excluded from
+    #: :meth:`MacroResult.report` — both values produce the identical
+    #: report, and the digest must prove it.
+    loop_scheduler: Optional[str] = None
 
     @classmethod
     def million_user_day(cls, **overrides: Any) -> "MacroConfig":
@@ -163,7 +168,9 @@ class MacroScenario:
 
     def __init__(self, config: Optional[MacroConfig] = None) -> None:
         self.config = config or MacroConfig()
-        self.loop = EventLoop()
+        self.loop = make_loop(None, self.config.loop_scheduler)
+        self._laned = self.loop.laned
+        self._shard_lanes: List[int] = []
         self.rng = RngStreams(self.config.seed)
         self._latencies = array("d")
         self._shards: List[DirectorCluster] = []
@@ -186,21 +193,27 @@ class MacroScenario:
         node = 0
         for s in range(config.shards):
             vip = IpEndpoint("10.0.%d.1" % s, 8080)
-            shard = DirectorCluster(
-                self.loop,
-                replicas=config.replicas_per_shard,
-                retain_requests=False,
-            )
-            shard.add_service(vip, scheduler_factory=factory)
-            for _ in range(config.servers_per_shard):
-                node += 1
-                shard.add_real_server(
-                    vip,
-                    "n%03d" % node,
-                    service_time=config.service_time,
-                    queue_limit=config.queue_limit,
-                    on_served=self._on_served,
+            # One event lane per shard: directors, real servers and every
+            # request completion they schedule stay in the shard's lane
+            # (no-op under the global scheduler).
+            lane = self.loop.register_lane("shard%d" % s)
+            self._shard_lanes.append(lane)
+            with self.loop.lane_scope(lane):
+                shard = DirectorCluster(
+                    self.loop,
+                    replicas=config.replicas_per_shard,
+                    retain_requests=False,
                 )
+                shard.add_service(vip, scheduler_factory=factory)
+                for _ in range(config.servers_per_shard):
+                    node += 1
+                    shard.add_real_server(
+                        vip,
+                        "n%03d" % node,
+                        service_time=config.service_time,
+                        queue_limit=config.queue_limit,
+                        on_served=self._on_served,
+                    )
             self._shards.append(shard)
             self._vips.append(vip)
             self._per_shard_submitted.append(0)
@@ -220,9 +233,23 @@ class MacroScenario:
         client = self._client_rng.randrange(self.config.clients)
         shard = self._client_home[client]
         self._per_shard_submitted[shard] += 1
-        self._shards[shard].submit(
-            self._vips[shard], client=self._client_names[client]
-        )
+        if self._laned:
+            # Hand the request to the shard's lane: the completion chain
+            # it schedules belongs there, not in the arrival generator's
+            # lane. Bare set/restore instead of lane_scope — this is the
+            # per-request hot path.
+            loop = self.loop
+            previous = loop.set_schedule_lane(self._shard_lanes[shard])
+            try:
+                self._shards[shard].submit(
+                    self._vips[shard], client=self._client_names[client]
+                )
+            finally:
+                loop.set_schedule_lane(previous)
+        else:
+            self._shards[shard].submit(
+                self._vips[shard], client=self._client_names[client]
+            )
 
     # -- execution ---------------------------------------------------------
     def run(self) -> MacroResult:

@@ -63,6 +63,13 @@ def rollout_main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, help="write the JSON verdict to this path"
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=("global", "laned"),
+        default="global",
+        help="event-loop scheduler (same seed, same verdict, byte for "
+        "byte — see docs/SIM.md)",
+    )
     args = parser.parse_args(argv)
 
     from repro.conformance import runtime as _crt
@@ -73,8 +80,13 @@ def rollout_main(argv=None) -> int:
     from repro.telemetry import runtime as _rt
     from repro.telemetry.runtime import Telemetry
 
+    from repro.sim.scheduler import use_scheduler
+
     schedule = SCENARIOS[args.scenario]()
-    env = rollout_scenario(args.seed, bad_release=args.scenario == "bad-release")
+    with use_scheduler(args.scheduler):
+        env = rollout_scenario(
+            args.seed, bad_release=args.scenario == "bad-release"
+        )
     print(
         "repro %s — rollout scenario=%s seed=%d (%d faults scheduled)"
         % (__version__, args.scenario, args.seed, len(schedule))

@@ -139,6 +139,15 @@ class Network:
         self._tick_entries: Optional[List[Tuple[_Link, List[Message]]]] = None
         self._tick_when: float = -1.0
         self._tick_guard_seq: int = -1
+        #: Destination lane the open tick delivers into (lane ownership
+        #: of the shared event; always 0 on the global scheduler).
+        self._tick_lane: int = -1
+        self._laned = bool(getattr(loop, "laned", False))
+        # The base latency is the floor of every one-way delay (jitter,
+        # per-node extras and FIFO backpressure only add); the laned
+        # scheduler uses the smallest such floor as its conservative
+        # cross-lane lookahead window.
+        loop.note_link_latency(latency)
 
     # ------------------------------------------------------------------
     # Topology
@@ -285,16 +294,24 @@ class Network:
         link.batch = batch
         link.batch_at = deliver_at
         # Per-tick coalescing: links whose batches land on the *same*
-        # delivery instant share one scheduled event, provided no other
-        # event was scheduled since the tick event went in (the loop's
-        # sequence counter is unchanged). Under that guard the merged
-        # firing order is provably identical to one-event-per-batch:
-        # the would-be events carry consecutive seqs with nothing in
+        # delivery instant share one scheduled event, provided (a) no
+        # other event was scheduled since the tick event went in (the
+        # loop's sequence counter is unchanged) and (b) both batches
+        # deliver into the same lane. Under guard (a) the merged firing
+        # order is provably identical to one-event-per-batch: the
+        # would-be events carry consecutive seqs with nothing in
         # between, so seq order at the instant equals append order.
+        # Guard (b) is lane ownership: a tick event belongs to the lane
+        # of the node it delivers to, and merging batches bound for
+        # different lanes would execute one lane's deliveries inside
+        # another lane's event (always trivially true — lane 0 — on the
+        # global scheduler).
+        lane = self.loop.lane_of_node(self.node_of(destination)) if self._laned else 0
         entries = self._tick_entries
         if (
             entries is not None
             and self._tick_when == deliver_at
+            and self._tick_lane == lane
             and self.loop.scheduled == self._tick_guard_seq
         ):
             entries.append((link, batch))
@@ -302,7 +319,8 @@ class Network:
         entries = [(link, batch)]
         self._tick_entries = entries
         self._tick_when = deliver_at
-        self.loop.call_transient_at(deliver_at, self._fire_tick, entries)
+        self._tick_lane = lane
+        self.loop.call_transient_at(deliver_at, self._fire_tick, entries, lane)
         self._tick_guard_seq = self.loop.scheduled
 
     def _fire_tick(self, entries: List[Tuple[_Link, List[Message]]]) -> None:
@@ -310,6 +328,7 @@ class Network:
             # Later sends at this same timestamp must open a fresh tick.
             self._tick_entries = None
             self._tick_when = -1.0
+            self._tick_lane = -1
         for link, batch in entries:
             if link.batch is batch:
                 # Later same-instant sends must open a fresh batch once

@@ -1,0 +1,225 @@
+"""Opt-in process-pool execution of independent lane batches.
+
+The laned scheduler's single-process merge already removes the global
+heap bottleneck; this module adds the second half of ROADMAP item 5:
+running *pool-safe* lane work in worker processes ahead of virtual time,
+bounded by the scheduler's conservative lookahead.
+
+A pool-safe task is a pure function: a **top-level picklable callable**
+plus a picklable payload, whose result depends on nothing but the
+payload. The simulation schedules the task at a virtual time in a lane
+as usual; the :class:`PoolRunner` may *precompute* ``fn(payload)`` in a
+worker process as soon as the task's fire time falls inside the lane's
+safe horizon (no other lane can still schedule anything earlier into
+it). At fire time the runner applies the result — precomputed or, if
+the pool hasn't finished (or isn't available), computed inline — via the
+``apply`` callback, which runs on the simulation thread in canonical
+``(when, seq)`` order. Determinism therefore never depends on worker
+timing: the pool changes *where* ``fn`` runs, never *when* its result
+is observed.
+
+Process pools are unavailable in some sandboxes (no semaphores); the
+runner degrades to inline execution and records that it did, so tests
+and benchmarks can report the actual mode honestly.
+"""
+
+from __future__ import annotations
+
+# repro: allow-file[DET005] -- the one sanctioned concurrency site: the
+# pool runs *pure* fn(payload) tasks only, and results are applied on
+# the sim thread in canonical (when, seq) order, so worker timing can
+# never reach simulation state.
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.lanes import LanedEventLoop
+
+__all__ = ["PoolRunner", "PoolTask"]
+
+
+class PoolTask:
+    """One scheduled pool-safe computation."""
+
+    __slots__ = ("task_id", "when", "lane", "fn", "payload", "future", "done")
+
+    def __init__(
+        self,
+        task_id: int,
+        when: float,
+        lane: int,
+        fn: Callable[[Any], Any],
+        payload: Any,
+    ) -> None:
+        self.task_id = task_id
+        self.when = when
+        self.lane = lane
+        self.fn = fn
+        self.payload = payload
+        self.future: Any = None
+        self.done = False
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else ("pooled" if self.future else "pending")
+        return "PoolTask(%d, t=%.6f, lane=%d, %s)" % (
+            self.task_id,
+            self.when,
+            self.lane,
+            state,
+        )
+
+
+class PoolRunner:
+    """Schedules pool-safe tasks on a :class:`LanedEventLoop`.
+
+    Usage::
+
+        loop = LanedEventLoop()
+        runner = PoolRunner(loop, max_workers=4)
+        runner.submit_at(when, fn, payload, apply, lane=lane_id)
+        runner.run_until(deadline)
+        runner.close()
+
+    ``fn(payload)`` must be pure and picklable; ``apply(result)`` runs on
+    the simulation thread when the task's event fires. ``run_until``
+    alternates prefetching (submitting horizon-safe tasks to the worker
+    pool) with advancing the loop, so precomputation overlaps simulated
+    work in other lanes.
+    """
+
+    def __init__(
+        self, loop: LanedEventLoop, max_workers: Optional[int] = None
+    ) -> None:
+        self.loop = loop
+        self._max_workers = max_workers
+        self._executor: Any = None
+        self._pool_failed = False
+        self._tasks: Dict[int, PoolTask] = {}
+        self._next_id = 0
+        #: Tasks executed via a worker process vs inline on the sim
+        #: thread — honesty counters for benchmarks and tests.
+        self.pooled = 0
+        self.inline = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pool_available(self) -> bool:
+        """True once a worker pool has been successfully created."""
+        return self._executor is not None
+
+    def _ensure_executor(self) -> Any:
+        if self._executor is None and not self._pool_failed:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                executor = ProcessPoolExecutor(max_workers=self._max_workers)
+                # Force worker spawn now: sandboxes without semaphore
+                # support fail here rather than at result time.
+                executor.submit(_pool_probe, 0).result(timeout=30)
+                self._executor = executor
+            except Exception:
+                self._pool_failed = True
+                self._executor = None
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def submit_at(
+        self,
+        when: float,
+        fn: Callable[[Any], Any],
+        payload: Any,
+        apply: Callable[[Any], None],
+        lane: Optional[int] = None,
+    ) -> int:
+        """Schedule ``apply(fn(payload))`` at virtual time ``when``.
+
+        Returns the task id. The event joins ``lane`` (or the ambient
+        scheduling lane) exactly like any other event — ordering is the
+        standard ``(when, seq)`` total order.
+        """
+        lane_id = self.loop._sched_lane if lane is None else lane
+        task = PoolTask(self._next_id, when, lane_id, fn, payload)
+        self._next_id += 1
+        self._tasks[task.task_id] = task
+        self.loop.call_at(
+            when,
+            lambda: apply(self._resolve(task)),
+            label="pool:%d" % task.task_id,
+            lane=lane_id,
+        )
+        return task.task_id
+
+    def _resolve(self, task: PoolTask) -> Any:
+        """Produce the task's result at fire time (canonical order)."""
+        task.done = True
+        self._tasks.pop(task.task_id, None)
+        if task.future is not None:
+            self.pooled += 1
+            return task.future.result()
+        self.inline += 1
+        return task.fn(task.payload)
+
+    # ------------------------------------------------------------------
+    def prefetch(self) -> int:
+        """Submit every horizon-safe pending task to the worker pool.
+
+        A task is safe once its fire time lies strictly before its
+        lane's :meth:`~repro.sim.lanes.LaneScheduler.safe_horizon` — no
+        other lane can still schedule an earlier event into that lane,
+        so the task's payload can no longer be affected. Returns the
+        number of tasks submitted; 0 when the pool is unavailable.
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            return 0
+        scheduler = self.loop.scheduler
+        submitted = 0
+        # Submission order follows task id (issue order) so worker
+        # assignment is reproducible run to run.
+        for task_id in sorted(self._tasks):
+            task = self._tasks[task_id]
+            if task.future is None and not task.done:
+                if task.when < scheduler.safe_horizon(task.lane):
+                    task.future = executor.submit(task.fn, task.payload)
+                    submitted += 1
+        return submitted
+
+    def run_until(self, deadline: float, chunk: float = 0.05) -> int:
+        """Advance the loop to ``deadline``, prefetching as lanes open up.
+
+        ``chunk`` bounds how much virtual time passes between prefetch
+        sweeps; smaller chunks pool more aggressively at the cost of
+        more sweeps. Returns total events fired.
+        """
+        if chunk <= 0:
+            raise ValueError("chunk must be positive: %r" % chunk)
+        fired = 0
+        clock = self.loop.clock
+        while clock.now < deadline:
+            self.prefetch()
+            fired += self.loop.run_until(min(clock.now + chunk, deadline))
+        return fired
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "PoolRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "PoolRunner(pending=%d, pooled=%d, inline=%d, pool=%s)" % (
+            len(self._tasks),
+            self.pooled,
+            self.inline,
+            "up" if self._executor is not None else "off",
+        )
+
+
+def _pool_probe(x: int) -> int:
+    """Trivial top-level function used to verify workers can spawn."""
+    return x + 1

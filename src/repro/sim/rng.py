@@ -35,5 +35,18 @@ class RngStreams:
         self._streams[name] = stream
         return stream
 
+    def substream(self, base: str, qualifier: str) -> random.Random:
+        """Return the stream named ``base/qualifier``.
+
+        Named substreams give each entity (a node, a lane, a shard) its
+        own draw sequence derived only from the root seed and the two
+        names — never from creation order or partition layout. A
+        consumer that draws from ``substream("telemetry", node_id)``
+        therefore sees identical values whether the simulation runs on
+        one event lane or fifty, which is what keeps span/event ids
+        byte-identical across schedulers.
+        """
+        return self.stream("%s/%s" % (base, qualifier))
+
     def __repr__(self) -> str:
         return "RngStreams(seed=%d, streams=%d)" % (self.seed, len(self._streams))

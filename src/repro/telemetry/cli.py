@@ -138,19 +138,29 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write the raw span dump to this path",
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=("global", "laned"),
+        default="global",
+        help="event-loop scheduler (same seed, same trace, byte for byte "
+        "— see docs/SIM.md)",
+    )
     args = parser.parse_args(argv)
 
+    from repro.sim.scheduler import use_scheduler
+
     failover_seconds: List[float] = []
-    if args.scenario == "failover":
-        env, telemetry = run_failover_scenario(args.seed)
-        spans = telemetry.export_spans()
-        for node_id in sorted(env.migration):
-            for record in env.migration[node_id].records:
-                if record.reason == "failure" and record.downtime is not None:
-                    failover_seconds.append(record.downtime)
-    else:
-        episode, failover_seconds = run_chaos_scenario(args.seed)
-        spans = episode.spans
+    with use_scheduler(args.scheduler):
+        if args.scenario == "failover":
+            env, telemetry = run_failover_scenario(args.seed)
+            spans = telemetry.export_spans()
+            for node_id in sorted(env.migration):
+                for record in env.migration[node_id].records:
+                    if record.reason == "failure" and record.downtime is not None:
+                        failover_seconds.append(record.downtime)
+        else:
+            episode, failover_seconds = run_chaos_scenario(args.seed)
+            spans = episode.spans
 
     meta = {"scenario": args.scenario, "seed": args.seed}
     out_path = args.out or "TRACE_%s_%d.json" % (args.scenario, args.seed)

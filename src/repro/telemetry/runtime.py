@@ -39,16 +39,18 @@ class Telemetry:
     clock:
         The sim :class:`~repro.sim.clock.Clock` (timestamps).
     rng:
-        The cluster's :class:`~repro.sim.rng.RngStreams`; ids come from
-        its dedicated ``"telemetry"`` stream so every pre-existing
-        stream's draws are unchanged.
+        The cluster's :class:`~repro.sim.rng.RngStreams`; node-tagged
+        span ids come from per-node ``telemetry/<node>`` substreams
+        (lane-count invariant), untagged ones from the base
+        ``"telemetry"`` stream — either way every pre-existing stream's
+        draws are unchanged.
     scenario:
         Free-form label carried into exports.
     """
 
     def __init__(self, clock: Any, rng: Any, scenario: str = "") -> None:
         self.clock = clock
-        self.tracer = Tracer(clock, rng.stream("telemetry"))
+        self.tracer = Tracer(clock, rng)
         self.metrics = MetricsRegistry()
         self.scenario = scenario
         self.root: Optional[Span] = None

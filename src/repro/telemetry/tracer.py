@@ -12,10 +12,16 @@ ipvs request, a failover) with a start/end in **virtual seconds** and a
   receiving handler's spans attach to the sender's span without any layer
   having to thread ids through its payloads.
 
-Ids are minted from the cluster's dedicated ``"telemetry"`` RNG stream
+Ids are minted from the cluster's dedicated ``"telemetry"`` RNG streams
 (:mod:`repro.sim.rng`), so existing streams' draws — and every pinned
 chaos trace digest — are unchanged, while two same-seed runs produce
-byte-identical span dumps.
+byte-identical span dumps. When the tracer is handed the cluster's
+:class:`~repro.sim.rng.RngStreams` (rather than a bare
+``random.Random``), each node's ids come from its own named substream
+(``telemetry/<node>``): an id is then a pure function of the root seed,
+the node and that node's span count — independent of how spans from
+*different* nodes interleave, and therefore identical whether the sim
+runs on the global scheduler, on one lane, or on fifty.
 
 Timer-driven causality (a node crash surfaces as missing heartbeats, not
 as a message) is stitched by the *ambient root span*: a scenario or chaos
@@ -99,16 +105,28 @@ class Span:
 class Tracer:
     """Mints spans from the sim clock and a dedicated RNG stream."""
 
-    def __init__(self, clock: Any, rng: random.Random) -> None:
+    def __init__(self, clock: Any, rng: Any) -> None:
         self._clock = clock
-        self._rng = rng
+        # Accept either a bare random.Random (legacy single-stream mode,
+        # used directly by unit tests) or an RngStreams-like factory with
+        # per-entity substreams (per-node id mode; lane-count invariant).
+        if hasattr(rng, "substream"):
+            self._streams = rng
+            self._rng: random.Random = rng.stream("telemetry")
+        else:
+            self._streams = None
+            self._rng = rng
         self._stack: List[SpanContext] = []
         #: Every span ever started, in start order (deterministic).
         self.spans: List[Span] = []
 
     # ------------------------------------------------------------------
-    def _new_id(self) -> str:
-        return "%016x" % self._rng.getrandbits(64)
+    def _new_id(self, node: str = "") -> str:
+        if node and self._streams is not None:
+            rng = self._streams.substream("telemetry", node)
+        else:
+            rng = self._rng
+        return "%016x" % rng.getrandbits(64)
 
     def current_context(self) -> Optional[SpanContext]:
         return self._stack[-1] if self._stack else None
@@ -131,9 +149,9 @@ class Tracer:
             trace_id = parent.trace_id
             parent_id: Optional[str] = parent.span_id
         else:
-            trace_id = self._new_id()
+            trace_id = self._new_id(node)
             parent_id = None
-        context = SpanContext(trace_id, self._new_id())
+        context = SpanContext(trace_id, self._new_id(node))
         span = Span(
             name=name,
             context=context,

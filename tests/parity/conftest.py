@@ -1,0 +1,44 @@
+"""Lane-parity differential harness plumbing.
+
+The contract under test (docs/SIM.md): for any scenario, a run on the
+``laned`` scheduler is *byte-identical* to the same-seed run on the
+``global`` scheduler — same digests, same verdicts, same exported
+artifacts. The ``run_both`` fixture runs a scenario callable once per
+scheduler (each run builds its own world from the seed inside the
+callable) and returns both results for the test to compare.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+import pytest
+
+from repro.sim.scheduler import SCHEDULERS, use_scheduler
+
+
+@pytest.fixture
+def run_both() -> Callable[[Callable[[], Any]], Tuple[Any, Any]]:
+    """Run ``scenario()`` under the global then the laned scheduler.
+
+    The callable must build everything it touches (cluster, env, loop)
+    from scratch on each invocation — shared state across runs would
+    turn a real divergence into a flaky artefact, or mask one.
+    """
+
+    def runner(scenario: Callable[[], Any]) -> Tuple[Any, Any]:
+        results = []
+        for name in SCHEDULERS:
+            with use_scheduler(name):
+                results.append(scenario())
+        return tuple(results)
+
+    return runner
+
+
+def assert_parity(global_result: Any, laned_result: Any, what: str) -> None:
+    """Equality with a divergence-first error message."""
+    assert global_result == laned_result, (
+        "lane-parity divergence in %s:\n  global: %r\n  laned:  %r"
+        % (what, global_result, laned_result)
+    )

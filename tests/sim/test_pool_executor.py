@@ -1,0 +1,104 @@
+"""PoolRunner: process-pool lane batches with inline-identical results.
+
+The pool changes *where* a pure task runs, never *when* its result is
+observed — results apply at the task's event in canonical ``(when,
+seq)`` order. These tests drive the same script with the pool forced
+off (inline) and, where the environment allows worker processes, with
+it on, asserting identical outcomes. Sandboxes without semaphore
+support simply exercise the documented inline degradation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.lanes import LanedEventLoop
+from repro.sim.poolexec import PoolRunner
+
+
+def crunch(payload):
+    """Top-level pure task (picklable for the worker pool)."""
+    base, n = payload
+    total = base
+    for i in range(1, n + 1):
+        total = (total * 31 + i) % 1000003
+    return total
+
+
+def _script(runner, loop):
+    lanes = [loop.register_lane(k) for k in ("n1", "n2", "n3")]
+    loop.note_link_latency(0.01)
+    results = []
+    for i in range(9):
+        runner.submit_at(
+            0.1 + 0.05 * i,
+            crunch,
+            (i, 500),
+            lambda value, i=i: results.append((i, value)),
+            lane=lanes[i % 3],
+        )
+    runner.run_until(2.0, chunk=0.1)
+    return results
+
+
+def test_inline_results_apply_in_canonical_order():
+    loop = LanedEventLoop(Clock())
+    runner = PoolRunner(loop)
+    runner._pool_failed = True  # force inline mode
+    results = _script(runner, loop)
+    assert [i for i, _ in results] == list(range(9))
+    assert results == [(i, crunch((i, 500))) for i in range(9)]
+    assert runner.inline == 9 and runner.pooled == 0
+
+
+def test_pooled_results_equal_inline_results():
+    inline_loop = LanedEventLoop(Clock())
+    inline_runner = PoolRunner(inline_loop)
+    inline_runner._pool_failed = True
+    inline = _script(inline_runner, inline_loop)
+
+    pooled_loop = LanedEventLoop(Clock())
+    with PoolRunner(pooled_loop, max_workers=2) as runner:
+        pooled = _script(runner, pooled_loop)
+        if not runner.pool_available:
+            pytest.skip("process pool unavailable in this environment")
+        assert runner.pooled > 0
+    assert pooled == inline
+
+
+def test_prefetch_respects_the_safe_horizon():
+    """A task beyond every other lane's head + lookahead must not be
+    submitted early; one inside the horizon may be."""
+    loop = LanedEventLoop(Clock())
+    l1 = loop.register_lane("n1")
+    l2 = loop.register_lane("n2")
+    loop.note_link_latency(0.001)
+    runner = PoolRunner(loop)
+    applied = []
+    # Lane 2 has work at t=0.05; lane 1's horizon is 0.051.
+    loop.call_at(0.05, lambda: None, lane=l2)
+    runner.submit_at(0.02, crunch, (1, 10), applied.append, lane=l1)  # safe
+    runner.submit_at(0.50, crunch, (2, 10), applied.append, lane=l1)  # not yet
+
+    class FakeExecutor:
+        def __init__(self):
+            self.submitted = []
+
+        def submit(self, fn, payload):
+            self.submitted.append(payload)
+
+            class Done:
+                @staticmethod
+                def result():
+                    return fn(payload)
+
+            return Done()
+
+    fake = FakeExecutor()
+    runner._executor = fake
+    assert runner.prefetch() == 1
+    assert fake.submitted == [(1, 10)]
+    loop.run_until(1.0)
+    assert applied == [crunch((1, 10)), crunch((2, 10))]
+    assert runner.pooled == 1 and runner.inline == 1
